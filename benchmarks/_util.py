@@ -1,0 +1,69 @@
+"""Shared benchmark configuration and reporting.
+
+Two profiles, selected with the ``REPRO_BENCH_PROFILE`` environment
+variable:
+
+* ``quick`` (default) — small scaled worlds and short runs; every
+  figure regenerates in a couple of minutes and the paper's *shapes*
+  (orderings, trends) are already visible;
+* ``full``  — larger worlds and deeper warm-up, closer to the paper's
+  steady state; use for the numbers quoted in EXPERIMENTS.md.
+
+Every figure benchmark prints its panels as ASCII tables (run pytest
+with ``-s`` to see them live) and writes them under
+``benchmarks/results/`` regardless.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    name: str
+    area_scale: float
+    warmup_queries: int
+    measure_queries: int
+    wq_warmup_queries: int  # window caches need longer to saturate
+
+
+PROFILES = {
+    "quick": BenchProfile(
+        name="quick",
+        area_scale=0.06,
+        warmup_queries=2200,
+        measure_queries=400,
+        wq_warmup_queries=3500,
+    ),
+    "full": BenchProfile(
+        name="full",
+        area_scale=0.1,
+        warmup_queries=8000,
+        measure_queries=1000,
+        wq_warmup_queries=16000,
+    ),
+}
+
+
+def profile() -> BenchProfile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    if name not in PROFILES:
+        raise ValueError(
+            f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}, got {name!r}"
+        )
+    return PROFILES[name]
+
+
+def emit(title: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {title} [{profile().name} profile] ====="
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(banner + "\n" + text + "\n")

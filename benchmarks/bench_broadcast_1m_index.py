@@ -1,0 +1,83 @@
+"""Figure 2 / Section 2.1 — access latency and tuning time of the
+(1, m) index allocation.
+
+Sweeps m and measures both metrics for on-air kNN retrievals: more
+index copies shorten the wait for an index segment (latency) at the
+cost of a longer cycle; tuning time is dominated by the data packets
+and the index read.  Imielinski et al.'s classic trade-off must be
+visible: latency is minimised at an intermediate m.
+"""
+
+import numpy as np
+
+from repro.broadcast import BroadcastSchedule, BroadcastServer
+from repro.experiments import format_table
+from repro.geometry import Point, Rect
+from repro.workloads import generate_pois
+
+from _util import emit
+
+BOUNDS = Rect(0, 0, 20, 20)
+M_VALUES = (1, 2, 4, 8, 16)
+
+
+def run():
+    rng = np.random.default_rng(0)
+    pois = generate_pois(BOUNDS, 800, rng)
+    server = BroadcastServer(
+        pois, BOUNDS, hilbert_order=6, bucket_capacity=4,
+        entries_per_index_packet=64,
+    )
+    queries = [
+        (Point(float(x), float(y)), float(t))
+        for x, y, t in rng.uniform(0, 20, (120, 3))
+    ]
+    rows = []
+    metrics = {}
+    for m in M_VALUES:
+        schedule = BroadcastSchedule(
+            data_bucket_count=server.bucket_count,
+            index_packet_count=server.index.packet_count,
+            m=m,
+            packet_time=0.1,
+        )
+        latencies = []
+        tunings = []
+        for q, t in queries:
+            values = server.grid.values_intersecting(
+                Rect(q.x - 1, q.y - 1, q.x + 1, q.y + 1).intersection(BOUNDS)
+            )
+            buckets = server.buckets_in_range(values[0], values[-1])
+            cost = schedule.retrieve(t * schedule.cycle_duration / 20, buckets)
+            latencies.append(cost.access_latency)
+            tunings.append(cost.tuning_packets)
+        metrics[m] = (float(np.mean(latencies)), float(np.mean(tunings)))
+        rows.append(
+            [
+                m,
+                schedule.cycle_packets,
+                round(metrics[m][0], 2),
+                round(metrics[m][1], 1),
+            ]
+        )
+    table = format_table(
+        ["m", "cycle packets", "mean access latency [s]", "mean tuning [pkts]"],
+        rows,
+        title="(1, m) index allocation trade-off",
+    )
+    return metrics, table
+
+
+def test_1m_index_tradeoff(benchmark):
+    metrics, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Figure 2 broadcast 1m index", table)
+
+    latency = {m: metrics[m][0] for m in M_VALUES}
+    tuning = {m: metrics[m][1] for m in M_VALUES}
+    # Replicating the index helps latency at first ...
+    assert latency[4] < latency[1]
+    # ... but the cycle bloat eventually bites (m=16 vs the optimum).
+    best = min(latency, key=latency.get)
+    assert latency[16] >= latency[best]
+    # Tuning time barely depends on m (probe + index read + data).
+    assert max(tuning.values()) - min(tuning.values()) < 3.0

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the core primitives.
+
+These are genuine pytest-benchmark timings (many rounds) of the hot
+paths the simulator leans on: MVR merging, NNV, Lemma 3.2 areas,
+Hilbert transforms, and grid neighbour queries.  They guard against
+performance regressions in the substrate.
+"""
+
+import numpy as np
+
+from repro.core import nnv, sbnn
+from repro.geometry import (
+    Circle,
+    Point,
+    Rect,
+    RectUnion,
+    hilbert_d_to_xy,
+    hilbert_xy_to_d,
+)
+from repro.index import UniformGrid
+from repro.p2p import ShareResponse
+from repro.workloads import generate_pois
+
+BOUNDS = Rect(0, 0, 20, 20)
+
+
+def make_responses(n_peers=12, seed=0):
+    rng = np.random.default_rng(seed)
+    pois = generate_pois(BOUNDS, 400, rng)
+    responses = []
+    for peer in range(n_peers):
+        x1, y1 = rng.uniform(6, 12, 2)
+        vr = Rect(x1, y1, x1 + rng.uniform(1, 3), y1 + rng.uniform(1, 3))
+        inside = tuple(p for p in pois if vr.contains_point(p.location))
+        responses.append(ShareResponse(peer, (vr,), inside))
+    return responses
+
+
+def test_rect_union_merge(benchmark):
+    responses = make_responses()
+    rects = [r for resp in responses for r in resp.regions]
+    region = benchmark(RectUnion, rects)
+    assert not region.is_empty
+
+
+def test_boundary_distance(benchmark):
+    region = RectUnion(
+        [r for resp in make_responses() for r in resp.regions]
+    )
+    q = region.rects[0].center
+    d = benchmark(region.distance_to_boundary, q)
+    assert d >= 0
+
+
+def test_nnv_throughput(benchmark):
+    responses = make_responses()
+    q = responses[0].regions[0].center
+    heap, _ = benchmark(nnv, q, responses, 5)
+    assert len(heap) > 0
+
+
+def test_sbnn_decision_throughput(benchmark):
+    responses = make_responses()
+    q = responses[0].regions[0].center
+    outcome = benchmark(sbnn, q, responses, 5, 6.875)
+    assert outcome.resolution is not None
+
+
+def test_disc_uncovered_area(benchmark):
+    region = RectUnion(
+        [r for resp in make_responses() for r in resp.regions]
+    )
+    q = region.rects[0].center
+    disc = Circle(q, 1.5)
+    area = benchmark(region.disc_uncovered_area, disc)
+    assert 0 <= area <= disc.area + 1e-9
+
+
+def test_hilbert_roundtrip(benchmark):
+    def run():
+        total = 0
+        for d in range(0, 4096, 7):
+            x, y = hilbert_d_to_xy(6, d)
+            total += hilbert_xy_to_d(6, x, y)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_grid_disc_query(benchmark):
+    rng = np.random.default_rng(1)
+    xs = rng.uniform(0, 20, 50_000)
+    ys = rng.uniform(0, 20, 50_000)
+    grid = UniformGrid(BOUNDS, cell_size=0.125)
+    grid.rebuild(xs, ys)
+    idx = benchmark(grid.query_disc, Point(10, 10), 0.125)
+    assert idx.size > 0

@@ -1,0 +1,79 @@
+"""Conclusion claim + future work — peer density and multi-hop.
+
+The paper closes: "the higher the mobile peer density, the more
+queries can be answered by peers", and names multi-hop sharing as
+future work.  This bench sweeps host density (fractions of the LA
+fleet) and compares one- vs two-hop sharing in the sparse regime.
+"""
+
+from repro.experiments import Simulation, format_table, scaled_parameters
+from repro.workloads import LA_CITY, RIVERSIDE_COUNTY, QueryKind
+
+from _util import emit, profile
+
+DENSITY_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def run():
+    p = profile()
+    rows = []
+    shares = []
+    for fraction in DENSITY_FRACTIONS:
+        base = LA_CITY.replace(
+            mh_number=round(LA_CITY.mh_number * fraction),
+            query_rate_per_min=LA_CITY.query_rate_per_min * fraction,
+        )
+        params = scaled_parameters(base, area_scale=p.area_scale)
+        sim = Simulation(params, seed=6)
+        collector = sim.run_workload(
+            QueryKind.KNN, p.warmup_queries, p.measure_queries
+        )
+        resolved = collector.pct_verified + collector.pct_approximate
+        shares.append(resolved)
+        rows.append(
+            [
+                f"{fraction:g}x LA",
+                round(params.mh_density, 0),
+                round(collector.mean_peer_count(), 1),
+                round(resolved, 1),
+                round(collector.pct_broadcast, 1),
+            ]
+        )
+
+    # Future work: two-hop sharing in the sparse Riverside regime.
+    hop_rows = []
+    hop_shares = {}
+    riverside = scaled_parameters(RIVERSIDE_COUNTY, area_scale=p.area_scale)
+    for hops in (1, 2):
+        sim = Simulation(riverside, seed=7, p2p_hops=hops)
+        collector = sim.run_workload(
+            QueryKind.KNN, p.warmup_queries, p.measure_queries
+        )
+        resolved = collector.pct_verified + collector.pct_approximate
+        hop_shares[hops] = resolved
+        hop_rows.append(
+            [hops, round(resolved, 1), round(collector.pct_broadcast, 1)]
+        )
+
+    table = format_table(
+        ["fleet", "MH/mi^2", "responding peers", "peer-resolved %", "broadcast %"],
+        rows,
+        title="Peer density scalability (LA kNN workload)",
+    )
+    table += "\n\n" + format_table(
+        ["hops", "peer-resolved %", "broadcast %"],
+        hop_rows,
+        title="Future work: multi-hop sharing (Riverside)",
+    )
+    return shares, hop_shares, table
+
+
+def test_density_and_multihop_scalability(benchmark):
+    shares, hop_shares, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Density and multihop scalability", table)
+
+    # Conclusion claim: peer-resolved share grows with host density.
+    assert shares == sorted(shares)
+    # Future work: a second hop cannot hurt, and usually helps the
+    # sparse region.
+    assert hop_shares[2] >= hop_shares[1] - 3.0

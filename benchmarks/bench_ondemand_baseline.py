@@ -1,0 +1,109 @@
+"""Section 1 baseline — on-demand vs broadcast scalability.
+
+The paper dismisses the point-to-point model because "it may not scale
+to very large systems".  This bench measures that claim: the same kNN
+workload is priced against (a) the broadcast channel (load-independent
+latency) and (b) an on-demand server with c uplink channels, at
+increasing arrival rates, both by DES and by the M/M/c closed form.
+"""
+
+import numpy as np
+
+from repro.broadcast import OnAirClient
+from repro.experiments import format_table
+from repro.geometry import Point, Rect
+from repro.ondemand import OnDemandServer, mmc_wait_time
+from repro.sim import Environment, Resource
+from repro.workloads import generate_pois
+
+from _util import emit
+
+BOUNDS = Rect(0, 0, 20, 20)
+RATES = (1.0, 5.0, 10.0, 20.0)  # requests per second
+CHANNELS = 8
+
+
+def run():
+    rng = np.random.default_rng(6)
+    pois = generate_pois(BOUNDS, 1000, rng)
+    client = OnAirClient.build(pois, BOUNDS, hilbert_order=6, bucket_capacity=8)
+    server = OnDemandServer(pois, channels=CHANNELS)
+
+    # Broadcast latency: independent of load by construction.
+    broadcast_lat = float(
+        np.mean(
+            [
+                client.knn(
+                    Point(*rng.uniform(1, 19, 2)), 5, t_query=float(t)
+                ).cost.access_latency
+                for t in rng.uniform(0, 200, 40)
+            ]
+        )
+    )
+
+    mean_service = float(
+        np.mean(
+            [
+                server.service_time_for_knn(Point(*rng.uniform(1, 19, 2)), 5)
+                for _ in range(40)
+            ]
+        )
+    )
+    service_rate = 1.0 / mean_service
+
+    rows = []
+    measured = {}
+    for rate in RATES:
+        env = Environment()
+        uplinks = Resource(env, capacity=CHANNELS)
+        sink = []
+
+        def arrivals(env):
+            while env.now < 120.0:
+                yield env.timeout(float(rng.exponential(1.0 / rate)))
+                q = Point(*rng.uniform(1, 19, 2))
+                env.process(server.request_process(env, uplinks, q, 5, sink))
+
+        env.process(arrivals(env))
+        env.run()
+        sim_latency = float(np.mean([a.latency for a in sink])) if sink else 0.0
+        model_wait = mmc_wait_time(rate, service_rate, CHANNELS)
+        model_latency = (
+            model_wait + mean_service if model_wait != float("inf") else float("inf")
+        )
+        measured[rate] = (sim_latency, model_latency)
+        rows.append(
+            [
+                rate,
+                round(sim_latency, 3),
+                "inf" if model_latency == float("inf") else round(model_latency, 3),
+                round(broadcast_lat, 2),
+            ]
+        )
+    table = format_table(
+        [
+            "arrival rate [1/s]",
+            "on-demand latency (DES) [s]",
+            "on-demand latency (M/M/c) [s]",
+            "broadcast latency [s]",
+        ],
+        rows,
+        title=f"On-demand ({CHANNELS} channels) vs broadcast scalability",
+    )
+    return measured, broadcast_lat, service_rate, table
+
+
+def test_ondemand_does_not_scale(benchmark):
+    measured, broadcast_lat, service_rate, table = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit("On-demand vs broadcast scalability", table)
+
+    # On-demand latency grows with load; broadcast's is flat by design.
+    latencies = [measured[r][0] for r in RATES]
+    assert latencies[-1] > latencies[0]
+    # Past saturation (rate >= c * mu) the queue blows up, far beyond
+    # the load-independent broadcast latency.
+    saturated = [r for r in RATES if r >= 8 * service_rate]
+    if saturated:
+        assert measured[saturated[0]][0] > broadcast_lat

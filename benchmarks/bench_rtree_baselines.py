@@ -1,0 +1,84 @@
+"""Baselines of Section 2.2 — classical disk-based spatial search.
+
+Benchmarks the R-tree query algorithms the paper surveys (best-first
+distance browsing [9] vs depth-first branch-and-bound [14]) and the
+structures' build strategies, and contrasts their random-access cost
+model (node accesses) with the broadcast channel's sequential-access
+cost (packets) for the same queries — the gap that motivates the whole
+paper.
+"""
+
+import numpy as np
+
+from repro.broadcast import OnAirClient
+from repro.experiments import format_table
+from repro.geometry import Point, Rect
+from repro.index import RTree
+from repro.workloads import generate_pois
+
+from _util import emit
+
+BOUNDS = Rect(0, 0, 20, 20)
+
+
+def build_world():
+    rng = np.random.default_rng(2)
+    pois = generate_pois(BOUNDS, 2750, rng)  # the LA database
+    tree = RTree.from_pois(pois)
+    client = OnAirClient.build(pois, BOUNDS, hilbert_order=7, bucket_capacity=8)
+    queries = [Point(float(x), float(y)) for x, y in rng.uniform(1, 19, (80, 2))]
+    return pois, tree, client, queries
+
+
+def test_best_first_vs_depth_first(benchmark):
+    pois, tree, client, queries = build_world()
+
+    def run_best_first():
+        return [tree.nearest(q, 5) for q in queries]
+
+    results = benchmark(run_best_first)
+    # Exactness cross-check against the depth-first classic.
+    for q, best in zip(queries, results):
+        df = tree.nearest_depth_first(q, 5)
+        assert [e.poi.poi_id for e in df] == [e.poi.poi_id for e in best]
+
+
+def test_node_accesses_vs_broadcast_packets(benchmark):
+    def run():
+        pois, tree, client, queries = build_world()
+        accesses = []
+        packets = []
+        for q in queries:
+            _, n = tree.count_node_accesses(lambda view: view.nearest(q, 5))
+            accesses.append(n)
+            onair = client.knn(q, 5, t_query=0.0)
+            packets.append(onair.cost.tuning_packets)
+        return float(np.mean(accesses)), float(np.mean(packets))
+
+    mean_accesses, mean_packets = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["access model", "mean cost per 5-NN query"],
+        [
+            ["R-tree node accesses (random access disk)", round(mean_accesses, 1)],
+            ["broadcast packets tuned (sequential channel)", round(mean_packets, 1)],
+        ],
+        title="Why broadcast needs sharing: sequential-access overhead",
+    )
+    emit("R-tree baselines", table)
+    # The sequential channel reads strictly more than a disk R-tree —
+    # the inefficiency the sharing method attacks.
+    assert mean_packets > mean_accesses
+
+
+def test_bulk_load_vs_incremental_build(benchmark):
+    rng = np.random.default_rng(4)
+    pois = generate_pois(BOUNDS, 1500, rng)
+
+    def bulk():
+        return RTree.from_pois(pois)
+
+    tree = benchmark(bulk)
+    incremental = RTree()
+    for poi in pois:
+        incremental.insert_point(poi.location, poi)
+    assert tree.height <= incremental.height

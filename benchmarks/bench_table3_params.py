@@ -1,0 +1,42 @@
+"""Table 3/4 — the simulation parameter sets and their derived
+densities (the quantities every figure depends on)."""
+
+from repro.experiments import format_table
+from repro.workloads import ALL_REGIONS, scaled_parameters
+
+from _util import emit, profile
+
+
+def build_table3():
+    headers = [
+        "Parameter",
+        *[r.name for r in ALL_REGIONS],
+        "Units",
+    ]
+    rows = [
+        ["POINumber", *[r.poi_number for r in ALL_REGIONS], ""],
+        ["MHNumber", *[r.mh_number for r in ALL_REGIONS], ""],
+        ["CSize", *[r.cache_size for r in ALL_REGIONS], "POIs"],
+        ["Query", *[r.query_rate_per_min for r in ALL_REGIONS], "1/min"],
+        ["TxRange", *[r.tx_range_m for r in ALL_REGIONS], "m"],
+        ["kNN", *[r.knn_k for r in ALL_REGIONS], ""],
+        ["Window", *[r.window_percent for r in ALL_REGIONS], "%"],
+        ["Distance", *[r.window_distance_mi for r in ALL_REGIONS], "mile"],
+        ["Texecution", *[r.execution_hours for r in ALL_REGIONS], "hr"],
+        ["POI density", *[round(r.poi_density, 2) for r in ALL_REGIONS], "/mi^2"],
+        ["MH density", *[round(r.mh_density, 1) for r in ALL_REGIONS], "/mi^2"],
+        ["E[peers@200m]", *[round(r.expected_peers, 1) for r in ALL_REGIONS], ""],
+    ]
+    return format_table(headers, rows, title="Table 3 parameter sets")
+
+
+def test_table3_parameter_sets(benchmark):
+    text = benchmark(build_table3)
+    emit("Table 3 parameter sets", text)
+    # Sanity: the derived peer counts drive the whole evaluation.
+    la, sub, riv = ALL_REGIONS
+    assert la.expected_peers > sub.expected_peers > riv.expected_peers
+    # Scaling preserves the densities the figures depend on.
+    scaled = scaled_parameters(la, area_scale=profile().area_scale)
+    assert abs(scaled.mh_density - la.mh_density) / la.mh_density < 0.05
+    assert abs(scaled.poi_density - la.poi_density) / la.poi_density < 0.05

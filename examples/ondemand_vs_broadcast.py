@@ -1,0 +1,72 @@
+"""Why broadcast at all? The on-demand model under load.
+
+Section 1 of the paper rejects point-to-point on-demand access because
+it "may not scale to very large systems".  This example loads an
+on-demand spatial server with increasing request rates and contrasts
+its latency against the load-independent broadcast channel — and then
+shows what the paper's sharing buys on top of broadcast.
+
+Run:  python examples/ondemand_vs_broadcast.py
+"""
+
+import numpy as np
+
+from repro.broadcast import OnAirClient
+from repro.geometry import Point, Rect
+from repro.ondemand import OnDemandServer, mmc_wait_time
+from repro.sim import Environment, Resource
+from repro.workloads import generate_pois
+
+BOUNDS = Rect(0, 0, 20, 20)
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    pois = generate_pois(BOUNDS, 800, rng)
+    client = OnAirClient.build(pois, BOUNDS, hilbert_order=6)
+    server = OnDemandServer(pois, channels=4)
+
+    broadcast = np.mean(
+        [
+            client.knn(Point(*rng.uniform(1, 19, 2)), 5, t_query=float(t))
+            .cost.access_latency
+            for t in rng.uniform(0, 100, 30)
+        ]
+    )
+    service = np.mean(
+        [
+            server.service_time_for_knn(Point(*rng.uniform(1, 19, 2)), 5)
+            for _ in range(30)
+        ]
+    )
+    print(f"broadcast latency (any load): {broadcast:.2f} s")
+    print(f"on-demand service time (unloaded): {service:.3f} s\n")
+
+    print("rate [1/s] | on-demand mean latency [s] (4 uplink channels)")
+    for rate in (1, 5, 10, 20, 40):
+        env = Environment()
+        uplinks = Resource(env, capacity=4)
+        sink = []
+
+        def arrivals(env):
+            while env.now < 60.0:
+                yield env.timeout(float(rng.exponential(1.0 / rate)))
+                q = Point(*rng.uniform(1, 19, 2))
+                env.process(server.request_process(env, uplinks, q, 5, sink))
+
+        env.process(arrivals(env))
+        env.run()
+        latency = np.mean([a.latency for a in sink])
+        model = mmc_wait_time(rate, 1.0 / service, 4)
+        model_text = "unstable" if model == float("inf") else f"{model + service:.2f}"
+        marker = "  <-- past saturation" if model == float("inf") else ""
+        print(f"{rate:10d} | measured {latency:7.2f}   M/M/c {model_text}{marker}")
+
+    print("\nThe broadcast channel serves any population at the same"
+          f" ~{broadcast:.1f} s — and the paper's P2P sharing removes even"
+          " that wait for the majority of queries (see the Figure 10"
+          " benchmark).")
+
+
+if __name__ == "__main__":
+    main()

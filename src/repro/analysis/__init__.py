@@ -1,0 +1,44 @@
+"""Probabilistic analysis: Poisson helpers, the hit-ratio model, and
+Lemma 3.2 calibration measurement."""
+
+from .calibration import (
+    CalibrationBin,
+    CalibrationResult,
+    correctness_calibration,
+)
+from .hitratio import (
+    HitRatioInputs,
+    knn_hit_ratio,
+    knn_hit_ratio_for,
+    model_inputs,
+    simulate_knn_hit_ratio,
+    single_peer_coverage,
+    window_hit_ratio,
+)
+from .poisson import (
+    expected_peers,
+    knn_distance_mean,
+    knn_distance_quantile,
+    poisson_pmf,
+    prob_at_least,
+    prob_empty_region,
+)
+
+__all__ = [
+    "CalibrationBin",
+    "CalibrationResult",
+    "HitRatioInputs",
+    "correctness_calibration",
+    "expected_peers",
+    "knn_distance_mean",
+    "knn_distance_quantile",
+    "knn_hit_ratio",
+    "knn_hit_ratio_for",
+    "model_inputs",
+    "poisson_pmf",
+    "prob_at_least",
+    "prob_empty_region",
+    "simulate_knn_hit_ratio",
+    "single_peer_coverage",
+    "window_hit_ratio",
+]

@@ -1,0 +1,87 @@
+"""Spatial-Poisson helpers shared by the analytical models.
+
+Everything the paper's probabilistic reasoning rests on: Poisson
+counts in regions, nearest-neighbour distance distributions for a
+planar Poisson process, and the empty-region probability behind
+Lemma 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ExperimentError
+
+
+def poisson_pmf(n: int, mean: float) -> float:
+    """``P(N = n)`` for a Poisson variable of the given mean."""
+    if n < 0:
+        raise ExperimentError(f"count must be non-negative, got {n}")
+    if mean < 0:
+        raise ExperimentError(f"mean must be non-negative, got {mean}")
+    if mean == 0:
+        return 1.0 if n == 0 else 0.0
+    return math.exp(n * math.log(mean) - mean - math.lgamma(n + 1))
+
+
+def prob_empty_region(density: float, area: float) -> float:
+    """``P(no point in a region)`` — the Lemma 3.2 kernel ``e^{-λu}``."""
+    if density < 0 or area < 0:
+        raise ExperimentError("density and area must be non-negative")
+    return math.exp(-density * area)
+
+
+def prob_at_least(n: int, mean: float) -> float:
+    """``P(N >= n)`` for a Poisson variable."""
+    if n <= 0:
+        return 1.0
+    return max(0.0, 1.0 - sum(poisson_pmf(i, mean) for i in range(n)))
+
+
+def expected_peers(mh_density: float, tx_range: float) -> float:
+    """Mean number of single-hop neighbours in a disc of radius
+    ``tx_range`` at host density ``mh_density``."""
+    if mh_density < 0 or tx_range < 0:
+        raise ExperimentError("density and range must be non-negative")
+    return mh_density * math.pi * tx_range**2
+
+
+def knn_distance_mean(k: int, density: float) -> float:
+    """``E[distance to the k-th nearest point]`` of a planar Poisson
+    process: ``Γ(k + 1/2) / (Γ(k) · sqrt(πλ))``."""
+    if k < 1:
+        raise ExperimentError(f"k must be >= 1, got {k}")
+    if density <= 0:
+        raise ExperimentError(f"density must be positive, got {density}")
+    return math.exp(
+        math.lgamma(k + 0.5) - math.lgamma(k)
+    ) / math.sqrt(math.pi * density)
+
+
+def knn_distance_quantile(k: int, density: float, q: float) -> float:
+    """The ``q``-quantile of the k-th NN distance.
+
+    ``πλr²`` is Gamma(k)-distributed; we invert the CDF by bisection
+    (no scipy dependency in the library core).
+    """
+    if not (0 < q < 1):
+        raise ExperimentError(f"quantile must be in (0, 1), got {q}")
+    mean = knn_distance_mean(k, density)
+
+    def cdf(r: float) -> float:
+        # P(K >= k points within radius r), K ~ Poisson(λπr²).
+        lam = density * math.pi * r * r
+        return prob_at_least(k, lam)
+
+    lo, hi = 0.0, mean
+    while cdf(hi) < q:
+        hi *= 2.0
+        if hi > 1e9:
+            raise ExperimentError("quantile search diverged")
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        if cdf(mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

@@ -1,0 +1,33 @@
+"""Wireless broadcast substrate: (1, m) cycle, Hilbert data file, and
+the on-air spatial query algorithms (Zheng et al. [17])."""
+
+from .client import OnAirClient
+from .onair_knn import (
+    KnnPlan,
+    OnAirKnnResult,
+    estimate_search_radius,
+    onair_knn,
+    plan_knn,
+)
+from .onair_window import OnAirWindowResult, onair_window, plan_window
+from .packets import DataBucket, IndexEntry, IndexSegment
+from .schedule import BroadcastSchedule, RetrievalCost
+from .server import BroadcastServer
+
+__all__ = [
+    "BroadcastSchedule",
+    "BroadcastServer",
+    "DataBucket",
+    "IndexEntry",
+    "IndexSegment",
+    "KnnPlan",
+    "OnAirClient",
+    "OnAirKnnResult",
+    "OnAirWindowResult",
+    "RetrievalCost",
+    "estimate_search_radius",
+    "onair_knn",
+    "onair_window",
+    "plan_knn",
+    "plan_window",
+]

@@ -1,0 +1,144 @@
+"""The broadcast server: Hilbert-ordered data file construction.
+
+The server owns the ground-truth POI database (an R-tree) and
+serialises it for the wireless channel: POIs are sorted by the Hilbert
+value of their cell and packed into fixed-capacity buckets; the index
+segment lists every occupied Hilbert value with its bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Sequence
+
+from ..errors import BroadcastError
+from ..geometry import HilbertGrid, Point, Rect
+from ..index import RTree
+from ..model import POI
+from .packets import DataBucket, IndexEntry, IndexSegment
+
+
+class BroadcastServer:
+    """Builds and owns the broadcast data file for a POI database."""
+
+    def __init__(
+        self,
+        pois: Sequence[POI],
+        bounds: Rect,
+        hilbert_order: int = 8,
+        bucket_capacity: int = 8,
+        entries_per_index_packet: int = 64,
+    ):
+        if not pois:
+            raise BroadcastError("cannot broadcast an empty database")
+        if bucket_capacity < 1:
+            raise BroadcastError("bucket_capacity must be >= 1")
+        self.bounds = bounds
+        self.grid = HilbertGrid(hilbert_order, bounds)
+        self.bucket_capacity = bucket_capacity
+        self.pois = tuple(pois)
+        self.rtree = RTree.from_pois(pois)
+
+        decorated = sorted(
+            ((self.grid.value_of_point(p.location), p.poi_id, p) for p in pois)
+        )
+        self._sorted_hvalues = [h for h, _, _ in decorated]
+        self._sorted_pois = [p for _, _, p in decorated]
+
+        self.buckets: list[DataBucket] = []
+        for start in range(0, len(decorated), bucket_capacity):
+            chunk = decorated[start : start + bucket_capacity]
+            cell_rects = [self.grid.rect_of_value(h) for h, _, _ in chunk]
+            self.buckets.append(
+                DataBucket(
+                    bucket_id=len(self.buckets),
+                    h_min=chunk[0][0],
+                    h_max=chunk[-1][0],
+                    pois=tuple(p for _, _, p in chunk),
+                    extent=Rect.bounding(cell_rects),
+                )
+            )
+        self._bucket_h_mins = [b.h_min for b in self.buckets]
+
+        index_entries: list[IndexEntry] = []
+        i = 0
+        while i < len(decorated):
+            h = decorated[i][0]
+            j = i
+            while j < len(decorated) and decorated[j][0] == h:
+                j += 1
+            bucket_id = self.bucket_of_position(i)
+            index_entries.append(IndexEntry(h, bucket_id, j - i))
+            i = j
+        self.index = IndexSegment(
+            entries=tuple(index_entries),
+            entries_per_packet=entries_per_index_packet,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    def bucket_of_position(self, sorted_position: int) -> int:
+        """Bucket id of the POI at a position in the Hilbert-sorted file."""
+        return sorted_position // self.bucket_capacity
+
+    def buckets_for_values(self, h_values: Iterable[int]) -> list[int]:
+        """Sorted ids of every bucket holding a POI at any given value.
+
+        Empty cells map to no bucket — nothing needs to be downloaded
+        for them.  A cell whose POIs straddle a bucket boundary maps to
+        all the straddled buckets.
+        """
+        needed: set[int] = set()
+        for h in h_values:
+            lo = bisect_left(self._sorted_hvalues, h)
+            hi = bisect_right(self._sorted_hvalues, h)
+            if lo == hi:
+                continue  # empty cell
+            needed.update(
+                self.bucket_of_position(pos)
+                for pos in range(lo, hi, self.bucket_capacity)
+            )
+            needed.add(self.bucket_of_position(hi - 1))
+        return sorted(needed)
+
+    def buckets_in_range(self, lo: int, hi: int) -> list[int]:
+        """Ids of every bucket whose Hilbert range intersects ``[lo, hi]``.
+
+        This is the *segment* retrieval of the basic on-air algorithms
+        [17]: the client listens to the whole broadcast run between the
+        first and last candidate value (Figures 4 and 8 of the paper).
+        """
+        if lo > hi:
+            raise BroadcastError(f"inverted Hilbert range [{lo}, {hi}]")
+        start = bisect_left(self._sorted_hvalues, lo)
+        stop = bisect_right(self._sorted_hvalues, hi)
+        if start == stop:
+            return []
+        first = self.bucket_of_position(start)
+        last = self.bucket_of_position(stop - 1)
+        return list(range(first, last + 1))
+
+    def buckets_for_window(self, window: Rect) -> list[int]:
+        """Buckets needed to answer a window query from the channel."""
+        return self.buckets_for_values(self.grid.values_intersecting(window))
+
+    def occupied_hvalues(self) -> list[int]:
+        """All occupied Hilbert values (what the index publishes)."""
+        return [entry.h_value for entry in self.index.entries]
+
+    def index_positions(self) -> list[tuple[int, Point]]:
+        """What a client learns from the index: per occupied value, the
+        cell-centre position estimate, repeated per POI in the cell."""
+        positions: list[tuple[int, Point]] = []
+        for entry in self.index.entries:
+            center = self.grid.center_of_value(entry.h_value)
+            positions.extend((entry.h_value, center) for _ in range(entry.poi_count))
+        return positions
+
+    def pois_in_bucket(self, bucket_id: int) -> tuple[POI, ...]:
+        if not (0 <= bucket_id < len(self.buckets)):
+            raise BroadcastError(f"unknown bucket id {bucket_id}")
+        return self.buckets[bucket_id].pois

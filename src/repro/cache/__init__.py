@@ -1,0 +1,17 @@
+"""Cooperative caching: per-host POI stores with verified regions."""
+
+from .entry import CacheItem, VerifiedRegion
+from .policy import DirectionDistancePolicy, FIFOPolicy, LRUPolicy, ReplacementPolicy
+from .store import EVICTION_MARGIN, POICache, shrink_rect_to_exclude
+
+__all__ = [
+    "CacheItem",
+    "DirectionDistancePolicy",
+    "EVICTION_MARGIN",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "POICache",
+    "ReplacementPolicy",
+    "VerifiedRegion",
+    "shrink_rect_to_exclude",
+]

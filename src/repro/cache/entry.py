@@ -1,0 +1,34 @@
+"""Cache record types.
+
+A *verified region* (Section 3.2) is a rectangle for which the owning
+host holds **every** POI the server has inside it — that completeness
+is what lets a peer's answer be locally *verified* by a query host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Rect
+from ..model import POI
+
+
+@dataclass(frozen=True, slots=True)
+class VerifiedRegion:
+    """A rectangle of guaranteed-complete POI knowledge."""
+
+    rect: Rect
+    created_at: float
+
+    @property
+    def area(self) -> float:
+        return self.rect.area
+
+
+@dataclass(slots=True)
+class CacheItem:
+    """A cached POI plus bookkeeping for the replacement policies."""
+
+    poi: POI
+    inserted_at: float
+    last_used: float

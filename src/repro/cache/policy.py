@@ -1,0 +1,84 @@
+"""Cache replacement policies.
+
+The paper's policy (after Ren & Dunham [13]) ranks eviction victims by
+the distance between the host and the data object, penalising objects
+that lie *behind* the host's direction of travel — a motorist will not
+come back for them.  LRU and FIFO are included as ablation baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from ..geometry import Point
+from .entry import CacheItem
+
+
+class ReplacementPolicy(Protocol):
+    """Ranks cached items most-evictable-first."""
+
+    def rank_victims(
+        self,
+        items: Sequence[CacheItem],
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> list[CacheItem]:
+        """Return the items ordered so the first should be evicted first."""
+        ...
+
+
+class DirectionDistancePolicy:
+    """Evict far-away objects, especially those behind the host.
+
+    The score of an item is its distance from the host, multiplied by
+    ``(1 + behind_penalty)`` when the object lies in the half-plane
+    opposite the travel direction.  Largest score is evicted first.
+    """
+
+    def __init__(self, behind_penalty: float = 1.0):
+        if behind_penalty < 0:
+            raise ValueError("behind_penalty must be non-negative")
+        self.behind_penalty = behind_penalty
+
+    def rank_victims(
+        self,
+        items: Sequence[CacheItem],
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> list[CacheItem]:
+        hx, hy = heading
+
+        def score(item: CacheItem) -> float:
+            dist = item.poi.distance_to(host_position)
+            dot = (item.poi.x - host_position.x) * hx + (
+                item.poi.y - host_position.y
+            ) * hy
+            if dot < 0.0:
+                return dist * (1.0 + self.behind_penalty)
+            return dist
+
+        return sorted(items, key=score, reverse=True)
+
+
+class LRUPolicy:
+    """Evict the least recently used item first (ablation baseline)."""
+
+    def rank_victims(
+        self,
+        items: Sequence[CacheItem],
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> list[CacheItem]:
+        return sorted(items, key=lambda item: item.last_used)
+
+
+class FIFOPolicy:
+    """Evict the oldest-inserted item first (ablation baseline)."""
+
+    def rank_victims(
+        self,
+        items: Sequence[CacheItem],
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> list[CacheItem]:
+        return sorted(items, key=lambda item: item.inserted_at)

@@ -1,0 +1,204 @@
+"""The per-host cooperative cache.
+
+Invariant (tested property): every verified region only covers space
+whose server POIs are *all* present in the cache.  Insertions provide
+a region together with the complete POI set inside it; evictions first
+shrink any region containing the victim so the invariant survives.
+
+Shrinking cuts the region along the side that loses the least area and
+pushes the cut a hair (``EVICTION_MARGIN``) past the victim so the
+victim ends up strictly outside the closed region.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import CacheError
+from ..geometry import Point, Rect
+from ..model import POI
+from .entry import CacheItem, VerifiedRegion
+from .policy import DirectionDistancePolicy, ReplacementPolicy
+
+EVICTION_MARGIN = 1e-9
+
+
+def shrink_rect_to_exclude(rect: Rect, p: Point) -> Rect | None:
+    """The largest of the four axis cuts of ``rect`` that excludes ``p``.
+
+    Returns ``None`` when no positive-area remainder exists.
+    """
+    if not rect.contains_point(p):
+        return rect
+    candidates: list[Rect] = []
+    cut_left = p.x - EVICTION_MARGIN
+    cut_right = p.x + EVICTION_MARGIN
+    cut_down = p.y - EVICTION_MARGIN
+    cut_up = p.y + EVICTION_MARGIN
+    if cut_left > rect.x1:
+        candidates.append(Rect(rect.x1, rect.y1, cut_left, rect.y2))
+    if cut_right < rect.x2:
+        candidates.append(Rect(cut_right, rect.y1, rect.x2, rect.y2))
+    if cut_down > rect.y1:
+        candidates.append(Rect(rect.x1, rect.y1, rect.x2, cut_down))
+    if cut_up < rect.y2:
+        candidates.append(Rect(rect.x1, cut_up, rect.x2, rect.y2))
+    candidates = [r for r in candidates if not r.is_degenerate()]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: r.area)
+
+
+class POICache:
+    """Bounded POI cache with verified-region maintenance."""
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ReplacementPolicy | None = None,
+        max_regions: int = 4,
+    ):
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1, got {capacity}")
+        if max_regions < 1:
+            raise CacheError(f"max_regions must be >= 1, got {max_regions}")
+        self.capacity = capacity
+        self.max_regions = max_regions
+        self.policy = policy if policy is not None else DirectionDistancePolicy()
+        self._items: dict[int, CacheItem] = {}
+        self._regions: list[VerifiedRegion] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, poi_id: int) -> bool:
+        return poi_id in self._items
+
+    @property
+    def pois(self) -> list[POI]:
+        return [item.poi for item in self._items.values()]
+
+    @property
+    def regions(self) -> list[VerifiedRegion]:
+        return list(self._regions)
+
+    @property
+    def region_rects(self) -> list[Rect]:
+        return [vr.rect for vr in self._regions]
+
+    # ------------------------------------------------------------------
+    def insert_result(
+        self,
+        region: Rect,
+        pois: Sequence[POI],
+        now: float,
+        host_position: Point,
+        heading: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        """Store a query result: a region plus *all* server POIs in it.
+
+        Completeness of ``pois`` within ``region`` is the caller's
+        contract; capacity pressure is resolved here by policy-ranked
+        eviction with region shrinking.
+        """
+        for poi in pois:
+            if poi.poi_id in self._items:
+                self._items[poi.poi_id].last_used = now
+            else:
+                self._items[poi.poi_id] = CacheItem(poi, now, now)
+        if not region.is_degenerate():
+            self._regions.append(VerifiedRegion(region, now))
+            self._coalesce_regions()
+            while len(self._regions) > self.max_regions:
+                # Drop the region farthest from the host; its POIs stay.
+                farthest = max(
+                    self._regions,
+                    key=lambda vr: vr.rect.distance_to_point(host_position),
+                )
+                self._regions.remove(farthest)
+        self._enforce_capacity(now, host_position, heading)
+
+    def touch(self, poi_ids: Iterable[int], now: float) -> None:
+        """Record use of cached POIs (LRU bookkeeping)."""
+        for poi_id in poi_ids:
+            item = self._items.get(poi_id)
+            if item is not None:
+                item.last_used = now
+
+    def share(self, now: float) -> tuple[list[Rect], list[POI]]:
+        """What this host sends a requesting peer: VR rects + POIs.
+
+        Serving a peer is not a local *use* of the data, so it leaves
+        the LRU clock alone (callers record genuine uses via
+        :meth:`touch`).
+        """
+        return self.region_rects, self.pois
+
+    def pois_in(self, rect: Rect) -> list[POI]:
+        """Cached POIs inside a rectangle (sorted by id)."""
+        hits = [
+            item.poi
+            for item in self._items.values()
+            if rect.contains_point(item.poi.location)
+        ]
+        hits.sort(key=lambda p: p.poi_id)
+        return hits
+
+    # ------------------------------------------------------------------
+    def _coalesce_regions(self) -> None:
+        """Drop regions fully covered by another (newer wins ties)."""
+        kept: list[VerifiedRegion] = []
+        for vr in sorted(self._regions, key=lambda v: -v.area):
+            if not any(other.rect.contains_rect(vr.rect) for other in kept):
+                kept.append(vr)
+        self._regions = kept
+
+    def _enforce_capacity(
+        self, now: float, host_position: Point, heading: tuple[float, float]
+    ) -> None:
+        if len(self._items) <= self.capacity:
+            return
+        victims = self.policy.rank_victims(
+            list(self._items.values()), host_position, heading
+        )
+        excess = len(self._items) - self.capacity
+        for item in victims[:excess]:
+            self._evict(item.poi)
+
+    def _evict(self, poi: POI) -> None:
+        """Remove one POI, shrinking every region that covers it."""
+        if poi.poi_id not in self._items:
+            raise CacheError(f"evicting uncached POI {poi.poi_id}")
+        del self._items[poi.poi_id]
+        updated: list[VerifiedRegion] = []
+        for vr in self._regions:
+            if not vr.rect.contains_point(poi.location):
+                updated.append(vr)
+                continue
+            shrunk = shrink_rect_to_exclude(vr.rect, poi.location)
+            if shrunk is not None:
+                updated.append(VerifiedRegion(shrunk, vr.created_at))
+        self._regions = updated
+
+    # ------------------------------------------------------------------
+    def check_soundness(
+        self, server_pois: Iterable[POI], margin: float = EVICTION_MARGIN
+    ) -> None:
+        """Test helper: assert the verified-region invariant.
+
+        Every server POI strictly inside a region (by more than
+        ``margin``) must be cached.
+        """
+        for vr in self._regions:
+            inner = vr.rect
+            try:
+                inner = inner.expanded(-margin)
+            except Exception:
+                continue
+            for poi in server_pois:
+                if inner.contains_point(poi.location) and poi.poi_id not in self:
+                    raise CacheError(
+                        f"verified region {vr.rect.as_tuple()} covers uncached"
+                        f" POI {poi.poi_id} at ({poi.x}, {poi.y})"
+                    )

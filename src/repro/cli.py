@@ -1,0 +1,130 @@
+"""Command-line interface: regenerate figures and poke at worlds.
+
+Usage::
+
+    python -m repro.cli figure fig10 --scale 0.06 --warmup 2500 \
+        --measure 400 --out results/fig10.csv
+    python -m repro.cli query --region la --k 5 --seed 3
+    python -m repro.cli params
+
+The CSV written by ``figure`` has one row per (region, x, series) —
+see :mod:`repro.experiments.export`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .experiments import (
+    Simulation,
+    format_series,
+    run_knn_cache,
+    run_knn_k,
+    run_knn_txrange,
+    run_wq_cache,
+    run_wq_size,
+    run_wq_txrange,
+    scaled_parameters,
+)
+from .experiments.export import write_sweep_csv
+from .workloads import (
+    ALL_REGIONS,
+    LA_CITY,
+    RIVERSIDE_COUNTY,
+    SYNTHETIC_SUBURBIA,
+    QueryKind,
+)
+
+FIGURES: dict[str, Callable] = {
+    "fig10": run_knn_txrange,
+    "fig11": run_knn_cache,
+    "fig12": run_knn_k,
+    "fig13": run_wq_txrange,
+    "fig14": run_wq_cache,
+    "fig15": run_wq_size,
+}
+
+REGIONS = {
+    "la": LA_CITY,
+    "suburbia": SYNTHETIC_SUBURBIA,
+    "riverside": RIVERSIDE_COUNTY,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LBSQ-with-data-sharing reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--scale", type=float, default=0.06)
+    fig.add_argument("--warmup", type=int, default=2500)
+    fig.add_argument("--measure", type=int, default=400)
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--out", default=None, help="optional CSV output path")
+
+    query = sub.add_parser("query", help="run one kNN query in a fresh world")
+    query.add_argument("--region", choices=sorted(REGIONS), default="suburbia")
+    query.add_argument("--k", type=int, default=5)
+    query.add_argument("--scale", type=float, default=0.05)
+    query.add_argument("--warmup", type=int, default=800)
+    query.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("params", help="print the Table 3 parameter sets")
+    return parser
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    runner = FIGURES[args.name]
+    panels = runner(
+        area_scale=args.scale,
+        warmup_queries=args.warmup,
+        measure_queries=args.measure,
+        seed=args.seed,
+    )
+    for panel in panels:
+        print(format_series(panel))
+        print()
+    if args.out:
+        path = write_sweep_csv(panels, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+    sim = Simulation(params, seed=args.seed)
+    sim.run_workload(QueryKind.KNN, 0, args.warmup)
+    result = sim.run_knn_query(k=args.k)
+    record = result.record
+    print(f"host {record.host_id}: {record.resolution.value},"
+          f" latency {record.access_latency:.2f} s,"
+          f" {record.peer_count} peers")
+    for rank, poi in enumerate(result.answers, start=1):
+        print(f"  #{rank}: POI {poi.poi_id} at"
+              f" ({poi.x:.2f}, {poi.y:.2f})")
+    return 0
+
+
+def cmd_params(args: argparse.Namespace) -> int:
+    for region in ALL_REGIONS:
+        print(f"{region.name}: {region.mh_number} hosts,"
+              f" {region.poi_number} POIs,"
+              f" {region.query_rate_per_min:g} queries/min,"
+              f" E[peers@{region.tx_range_m:.0f}m] ="
+              f" {region.expected_peers:.1f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"figure": cmd_figure, "query": cmd_query, "params": cmd_params}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: sharing-based spatial query processing.
+
+* :func:`nnv` — Algorithm 1, nearest-neighbour verification;
+* :func:`sbnn` — Algorithm 2, sharing-based kNN;
+* :func:`sbwq` — Algorithm 3, sharing-based window queries;
+* Lemma 3.2 machinery (:func:`correctness_probability`,
+  :func:`surpassing_ratio`) and the Section 3.3.3 search bounds.
+"""
+
+from .approx import (
+    annotate_heap,
+    correctness_probability,
+    expected_detour,
+    surpassing_ratio,
+    unverified_region_area,
+)
+from .filtering import SearchBounds, search_bounds
+from .heap import HeapEntry, HeapState, ResultHeap
+from .nnv import collect_candidates, merge_verified_regions, nnv
+from .sbnn import Resolution, SBNNOutcome, sbnn
+from .sbwq import SBWQOutcome, sbwq
+
+__all__ = [
+    "HeapEntry",
+    "HeapState",
+    "Resolution",
+    "ResultHeap",
+    "SBNNOutcome",
+    "SBWQOutcome",
+    "SearchBounds",
+    "annotate_heap",
+    "collect_candidates",
+    "correctness_probability",
+    "expected_detour",
+    "merge_verified_regions",
+    "nnv",
+    "sbnn",
+    "sbwq",
+    "search_bounds",
+    "surpassing_ratio",
+    "unverified_region_area",
+]

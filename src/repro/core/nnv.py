@@ -1,0 +1,75 @@
+"""Nearest Neighbour Verification — Algorithm 1 of the paper.
+
+Given the share responses of the peers, NNV merges their verified
+regions into the MVR, sorts the received POIs by distance, and marks a
+POI verified when Lemma 3.1 applies: the query point lies inside the
+MVR and the POI is no farther than the nearest MVR boundary edge
+``e_s`` (so the whole disc out to the POI is verified territory).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geometry import Point, RectUnion
+from ..model import POI
+from ..p2p import ShareResponse
+from .heap import HeapEntry, ResultHeap
+
+
+def merge_verified_regions(responses: Sequence[ShareResponse]) -> RectUnion:
+    """The MVR: union of every peer's verified-region MBRs.
+
+    This is the MapOverlay step of Algorithm 1 (line 4), exact for the
+    rectangle inputs the protocol carries.
+    """
+    rects = [rect for response in responses for rect in response.regions]
+    return RectUnion(rects)
+
+
+def collect_candidates(
+    responses: Sequence[ShareResponse], mvr: RectUnion
+) -> list[POI]:
+    """The candidate set ``O``: received POIs that lie inside the MVR.
+
+    Duplicates (the same POI from several peers) collapse to one.
+    """
+    by_id: dict[int, POI] = {}
+    for response in responses:
+        for poi in response.pois:
+            if poi.poi_id not in by_id and mvr.contains_point(poi.location):
+                by_id[poi.poi_id] = poi
+    return list(by_id.values())
+
+
+def nnv(
+    query: Point,
+    responses: Sequence[ShareResponse],
+    k: int,
+    mvr: RectUnion | None = None,
+) -> tuple[ResultHeap, RectUnion]:
+    """Algorithm 1 (NNV): build the heap ``H`` from peer data.
+
+    Returns the heap and the MVR (callers reuse the MVR for the
+    approximate-answer probabilities and for SBWQ).  When the query
+    point is outside the MVR, Lemma 3.1 cannot apply and every
+    candidate enters unverified.
+    """
+    if mvr is None:
+        mvr = merge_verified_regions(responses)
+    heap = ResultHeap(k)
+    candidates = collect_candidates(responses, mvr)
+    candidates.sort(key=lambda poi: (poi.distance_to(query), poi.poi_id))
+    if mvr.is_empty or not mvr.contains_point(query):
+        boundary_distance = None
+    else:
+        boundary_distance = mvr.distance_to_boundary(query)
+    for poi in candidates:
+        if heap.is_full:
+            break
+        distance = poi.distance_to(query)
+        verified = (
+            boundary_distance is not None and distance <= boundary_distance
+        )
+        heap.add(HeapEntry(poi, distance, verified))
+    return heap, mvr

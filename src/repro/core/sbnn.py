@@ -1,0 +1,103 @@
+"""Sharing-Based Nearest Neighbour queries — Algorithm 2.
+
+``sbnn`` runs the peer-side part of the pipeline: NNV over the share
+responses, Lemma 3.2 annotation of the unverified entries, and the
+resolution decision:
+
+* ``VERIFIED``    — all ``k`` answers verified by peers; done.
+* ``APPROXIMATE`` — the heap is full and the inquirer accepts
+  approximate answers whose correctness probability clears the
+  threshold (the experiments use 50 %); done, approximately.
+* ``BROADCAST``   — otherwise; the outcome carries the Section-3.3.3
+  search bounds and the verified POIs so the on-air retrieval
+  (:func:`repro.broadcast.onair_knn`) can be filtered.
+
+The broadcast step itself lives with the channel code; keeping this
+function channel-free makes the decision logic unit-testable in
+isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from ..errors import ReproError
+from ..geometry import Point, RectUnion
+from ..model import POI
+from ..p2p import ShareResponse
+from .approx import annotate_heap
+from .filtering import SearchBounds, search_bounds
+from .heap import ResultHeap
+from .nnv import nnv
+
+
+class Resolution(Enum):
+    """How a sharing-based query got (or will get) its answer."""
+
+    VERIFIED = "verified"  # exact answer from peers
+    APPROXIMATE = "approximate"  # probabilistic answer from peers
+    BROADCAST = "broadcast"  # must fall back to the channel
+
+
+@dataclass(slots=True)
+class SBNNOutcome:
+    """Everything Algorithm 2 decides before (maybe) going on-air."""
+
+    resolution: Resolution
+    heap: ResultHeap
+    mvr: RectUnion
+    bounds: SearchBounds
+
+    @property
+    def verified_pois(self) -> tuple[POI, ...]:
+        """POIs usable as known data during filtered on-air retrieval."""
+        return tuple(e.poi for e in self.heap.verified_entries)
+
+
+def sbnn(
+    query: Point,
+    responses: Sequence[ShareResponse],
+    k: int,
+    poi_density: float,
+    accept_approximate: bool = True,
+    min_correctness: float = 0.5,
+) -> SBNNOutcome:
+    """Algorithm 2 (SBNN), up to the broadcast-channel hand-off."""
+    if not (0.0 <= min_correctness <= 1.0):
+        raise ReproError(
+            f"min_correctness must be in [0, 1], got {min_correctness}"
+        )
+    heap, mvr = nnv(query, responses, k)
+    # The Lemma 3.2 annotations cost a disc/region area computation per
+    # unverified entry; they only matter when they can decide the
+    # approximate path (heap full, approximation accepted) — skip the
+    # work otherwise.
+    needs_annotation = (
+        not mvr.is_empty
+        and heap.unverified_entries
+        and (accept_approximate and heap.is_full)
+    )
+    if needs_annotation:
+        annotate_heap(query, heap, mvr, poi_density)
+
+    if heap.verified_count >= k:
+        resolution = Resolution.VERIFIED
+    elif (
+        accept_approximate
+        and heap.is_full
+        and all(
+            (e.correctness or 0.0) >= min_correctness
+            for e in heap.unverified_entries
+        )
+    ):
+        resolution = Resolution.APPROXIMATE
+    else:
+        resolution = Resolution.BROADCAST
+    return SBNNOutcome(
+        resolution=resolution,
+        heap=heap,
+        mvr=mvr,
+        bounds=search_bounds(heap),
+    )

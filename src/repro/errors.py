@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction or query (e.g. empty region)."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class BroadcastError(ReproError):
+    """Invalid broadcast schedule, packet, or on-air protocol state."""
+
+
+class CacheError(ReproError):
+    """Cooperative-cache invariant violation or invalid configuration."""
+
+
+class MobilityError(ReproError):
+    """Invalid mobility model configuration or trajectory query."""
+
+
+class ProtocolError(ReproError):
+    """Malformed peer-to-peer request or response."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment configuration or runner misuse."""

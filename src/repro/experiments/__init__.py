@@ -1,0 +1,46 @@
+"""The experiment harness behind the paper's evaluation section."""
+
+from .host import HostQueryResult, MobileHost
+from .metrics import MetricsCollector, QueryRecord
+from .reporting import format_series, format_table
+from .runners import (
+    KNN_SERIES,
+    WQ_SERIES,
+    SweepSeries,
+    run_knn_cache,
+    run_knn_k,
+    run_knn_txrange,
+    run_sweep,
+    run_wq_cache,
+    run_wq_size,
+    run_wq_txrange,
+)
+from .simulator import Simulation
+from .station import BaseStation, PacketEvent
+from .steady import SteadyStateReport, run_until_steady
+from ..workloads import scaled_parameters
+
+__all__ = [
+    "BaseStation",
+    "HostQueryResult",
+    "KNN_SERIES",
+    "MetricsCollector",
+    "MobileHost",
+    "PacketEvent",
+    "QueryRecord",
+    "Simulation",
+    "SteadyStateReport",
+    "SweepSeries",
+    "WQ_SERIES",
+    "format_series",
+    "format_table",
+    "run_knn_cache",
+    "run_knn_k",
+    "run_knn_txrange",
+    "run_sweep",
+    "run_until_steady",
+    "run_wq_cache",
+    "run_wq_size",
+    "run_wq_txrange",
+    "scaled_parameters",
+]

@@ -1,0 +1,288 @@
+"""The mobile-host module: per-query pipeline of Sections 3.3 and 3.4.
+
+A :class:`MobileHost` owns a cooperative cache and executes queries:
+
+1. collect share responses (its own cache counts as a response — a
+   host always consults what it already holds);
+2. run SBNN / SBWQ over them;
+3. fall back to the (filtered) on-air algorithms when peers cannot
+   finish the job;
+4. update the cache — including *gossip* caching: a peer-resolved kNN
+   still certifies a disc around the query point, and the host keeps
+   the inscribed square as a new verified region, which is how shared
+   knowledge propagates through the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..broadcast import OnAirClient
+from ..cache import POICache
+from ..core import Resolution, sbnn, sbwq
+from ..core.heap import HeapEntry
+from ..geometry import Circle, Point, Rect, RectUnion
+from ..model import POI
+from ..p2p import ShareResponse
+from ..workloads import QueryKind
+from .metrics import QueryRecord
+
+
+SharedRegion = tuple[Rect, tuple[POI, ...]]
+
+
+@dataclass(frozen=True, slots=True)
+class HostQueryResult:
+    """What a host hands back to the harness after one query.
+
+    ``shared`` lists the certified (region, POIs) pairs the querier
+    cached; neighbours that overheard the exchange can adopt the same
+    regions (cooperative caching of result sets, after [5]).
+    """
+
+    record: QueryRecord
+    answers: tuple[POI, ...]
+    heap_entries: tuple[HeapEntry, ...] = ()
+    shared: tuple[SharedRegion, ...] = ()
+
+
+def _pois_from_responses(
+    responses: Sequence[ShareResponse], within: Rect, mvr: RectUnion
+) -> dict[int, POI]:
+    """Peer POIs inside both ``within`` and the MVR (hence complete)."""
+    found: dict[int, POI] = {}
+    for response in responses:
+        for poi in response.pois:
+            if poi.poi_id in found:
+                continue
+            if within.contains_point(poi.location) and mvr.contains_point(
+                poi.location
+            ):
+                found[poi.poi_id] = poi
+    return found
+
+
+class MobileHost:
+    """One vehicle: an id plus its cooperative cache."""
+
+    def __init__(self, host_id: int, cache: POICache):
+        self.host_id = host_id
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def share_response(self, now: float) -> ShareResponse | None:
+        """Answer a peer's share request; ``None`` when nothing cached."""
+        regions, pois = self.cache.share(now)
+        if not regions and not pois:
+            return None
+        return ShareResponse(self.host_id, tuple(regions), tuple(pois))
+
+    # ------------------------------------------------------------------
+    def execute_knn(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        k: int,
+        responses: Sequence[ShareResponse],
+        onair: OnAirClient,
+        poi_density: float,
+        now: float,
+        p2p_latency: float = 0.05,
+        accept_approximate: bool = True,
+        min_correctness: float = 0.5,
+        cache_gossip: bool = True,
+    ) -> HostQueryResult:
+        """The full SBNN pipeline for one kNN query (Algorithm 2)."""
+        outcome = sbnn(
+            position,
+            responses,
+            k,
+            poi_density,
+            accept_approximate=accept_approximate,
+            min_correctness=min_correctness,
+        )
+        peer_count = sum(
+            1 for r in responses if r.peer_id != self.host_id
+        )
+        if outcome.resolution is not Resolution.BROADCAST:
+            latency = p2p_latency if peer_count else 0.0
+            shared: SharedRegion | None = None
+            if cache_gossip:
+                shared = self._gossip_cache(
+                    position, heading, outcome.mvr, responses, now
+                )
+            entries = tuple(outcome.heap.results()[:k])
+            self.cache.touch((e.poi.poi_id for e in entries), now)
+            return HostQueryResult(
+                record=QueryRecord(
+                    time=now,
+                    host_id=self.host_id,
+                    kind=QueryKind.KNN,
+                    resolution=outcome.resolution,
+                    access_latency=latency,
+                    tuning_packets=0,
+                    buckets_downloaded=0,
+                    peer_count=peer_count,
+                    k=k,
+                    result_size=len(entries),
+                ),
+                answers=tuple(e.poi for e in entries),
+                heap_entries=entries,
+                shared=(shared,) if shared else (),
+            )
+
+        onair_result = onair.knn(
+            position,
+            k,
+            t_query=now,
+            upper_bound=outcome.bounds.upper,
+            lower_bound=outcome.bounds.lower,
+            known_pois=outcome.verified_pois,
+        )
+        covered = onair_result.covered
+        complete = {poi.poi_id: poi for poi in onair_result.downloaded}
+        complete.update(
+            _pois_from_responses(responses, covered, outcome.mvr)
+        )
+        cached_pois = tuple(
+            poi
+            for poi in complete.values()
+            if covered.contains_point(poi.location)
+        )
+        shared_regions: list[SharedRegion] = [(covered, cached_pois)]
+        # Everything the segment download certifies beyond the search
+        # MBR is cacheable too ("store as many received POIs as the
+        # cache capacity allows").
+        for region in onair_result.plan.bonus_regions:
+            in_region = tuple(
+                poi
+                for poi in onair_result.downloaded
+                if region.contains_point(poi.location)
+            )
+            shared_regions.append((region, in_region))
+        for region, pois in shared_regions:
+            self.cache.insert_result(region, list(pois), now, position, heading)
+        latency = (p2p_latency if peer_count else 0.0) + (
+            onair_result.cost.access_latency
+        )
+        return HostQueryResult(
+            record=QueryRecord(
+                time=now,
+                host_id=self.host_id,
+                kind=QueryKind.KNN,
+                resolution=Resolution.BROADCAST,
+                access_latency=latency,
+                tuning_packets=onair_result.cost.tuning_packets,
+                buckets_downloaded=onair_result.cost.buckets_downloaded,
+                peer_count=peer_count,
+                k=k,
+                result_size=len(onair_result.results),
+            ),
+            answers=tuple(e.poi for e in onair_result.results),
+            shared=tuple(shared_regions),
+        )
+
+    def _gossip_cache(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        mvr: RectUnion,
+        responses: Sequence[ShareResponse],
+        now: float,
+    ) -> tuple[Rect, tuple[POI, ...]] | None:
+        """Keep the verified disc around a peer-resolved query.
+
+        The largest inscribed axis-aligned square of the verified disc
+        ``C(q, ||q, e_s||)`` lies inside the MVR, where the responses
+        are collectively complete, so it is a sound verified region.
+        Returns what was cached so neighbours can adopt it.
+        """
+        if mvr.is_empty or not mvr.contains_point(position):
+            return None
+        radius = mvr.distance_to_boundary(position)
+        if radius <= 0.0:
+            return None
+        region = Circle(position, radius).inscribed_rect()
+        pois = tuple(_pois_from_responses(responses, region, mvr).values())
+        self.cache.insert_result(region, list(pois), now, position, heading)
+        return region, pois
+
+    # ------------------------------------------------------------------
+    def execute_window(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        window: Rect,
+        responses: Sequence[ShareResponse],
+        onair: OnAirClient,
+        now: float,
+        p2p_latency: float = 0.05,
+    ) -> HostQueryResult:
+        """The full SBWQ pipeline for one window query (Algorithm 3)."""
+        outcome = sbwq(window, responses)
+        peer_count = sum(
+            1 for r in responses if r.peer_id != self.host_id
+        )
+        if outcome.resolution is Resolution.VERIFIED:
+            self.cache.touch((p.poi_id for p in outcome.verified_pois), now)
+            self.cache.insert_result(
+                window, list(outcome.verified_pois), now, position, heading
+            )
+            return HostQueryResult(
+                record=QueryRecord(
+                    time=now,
+                    host_id=self.host_id,
+                    kind=QueryKind.WINDOW,
+                    resolution=Resolution.VERIFIED,
+                    access_latency=p2p_latency if peer_count else 0.0,
+                    tuning_packets=0,
+                    buckets_downloaded=0,
+                    peer_count=peer_count,
+                    window_area=window.area,
+                    result_size=len(outcome.verified_pois),
+                ),
+                answers=outcome.verified_pois,
+                shared=((window, outcome.verified_pois),),
+            )
+
+        onair_result = onair.window(outcome.remainder_windows, t_query=now)
+        answers: dict[int, POI] = {
+            poi.poi_id: poi for poi in outcome.verified_pois
+        }
+        answers.update({poi.poi_id: poi for poi in onair_result.pois})
+        # Verified peers cover w ∩ MVR, the channel covered w − MVR:
+        # together the whole window is certified.  The segment download
+        # certifies the aligned blocks beyond the window as well.
+        shared_regions: list[SharedRegion] = [
+            (window, tuple(sorted(answers.values(), key=lambda p: p.poi_id)))
+        ]
+        for region in onair_result.bonus_regions:
+            in_region = tuple(
+                poi
+                for poi in onair_result.downloaded
+                if region.contains_point(poi.location)
+            )
+            shared_regions.append((region, in_region))
+        for region, pois in shared_regions:
+            self.cache.insert_result(region, list(pois), now, position, heading)
+        latency = (p2p_latency if peer_count else 0.0) + (
+            onair_result.cost.access_latency
+        )
+        ordered = tuple(sorted(answers.values(), key=lambda p: p.poi_id))
+        return HostQueryResult(
+            record=QueryRecord(
+                time=now,
+                host_id=self.host_id,
+                kind=QueryKind.WINDOW,
+                resolution=Resolution.BROADCAST,
+                access_latency=latency,
+                tuning_packets=onair_result.cost.tuning_packets,
+                buckets_downloaded=onair_result.cost.buckets_downloaded,
+                peer_count=peer_count,
+                window_area=window.area,
+                result_size=len(ordered),
+            ),
+            answers=ordered,
+            shared=tuple(shared_regions),
+        )

@@ -1,0 +1,107 @@
+"""Experiment metrics: per-query records and aggregate collectors.
+
+The paper's headline metric is the share of queries resolved by each
+path — SBNN / approximate SBNN / broadcast channel (Figures 10–15).
+We additionally track access latency and tuning time so the filtering
+ablation (Section 3.3.3) has something to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from ..core import Resolution
+from ..errors import ExperimentError
+from ..workloads import QueryKind
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """Everything measured about one executed query."""
+
+    time: float
+    host_id: int
+    kind: QueryKind
+    resolution: Resolution
+    access_latency: float
+    tuning_packets: int
+    buckets_downloaded: int
+    peer_count: int
+    k: int = 0
+    window_area: float = 0.0
+    result_size: int = 0
+
+
+class MetricsCollector:
+    """Aggregates query records into the figures' percentages."""
+
+    def __init__(self) -> None:
+        self.records: list[QueryRecord] = []
+
+    def add(self, record: QueryRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def count(self, resolution: Resolution) -> int:
+        return sum(1 for r in self.records if r.resolution is resolution)
+
+    def percentage(self, resolution: Resolution) -> float:
+        """Share of queries resolved by the given path, in percent."""
+        if not self.records:
+            raise ExperimentError("no records collected")
+        return 100.0 * self.count(resolution) / len(self.records)
+
+    @property
+    def pct_verified(self) -> float:
+        return self.percentage(Resolution.VERIFIED)
+
+    @property
+    def pct_approximate(self) -> float:
+        return self.percentage(Resolution.APPROXIMATE)
+
+    @property
+    def pct_broadcast(self) -> float:
+        return self.percentage(Resolution.BROADCAST)
+
+    # ------------------------------------------------------------------
+    def mean_latency(self, resolution: Resolution | None = None) -> float:
+        latencies = [
+            r.access_latency
+            for r in self.records
+            if resolution is None or r.resolution is resolution
+        ]
+        return mean(latencies) if latencies else 0.0
+
+    def mean_tuning(self, resolution: Resolution | None = None) -> float:
+        tunings = [
+            r.tuning_packets
+            for r in self.records
+            if resolution is None or r.resolution is resolution
+        ]
+        return mean(tunings) if tunings else 0.0
+
+    def mean_peer_count(self) -> float:
+        return mean(r.peer_count for r in self.records) if self.records else 0.0
+
+    def total_buckets(self) -> int:
+        return sum(r.buckets_downloaded for r in self.records)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """A flat dict for reporting tables."""
+        if not self.records:
+            raise ExperimentError("no records collected")
+        return {
+            "queries": float(len(self.records)),
+            "pct_verified": self.pct_verified,
+            "pct_approximate": self.pct_approximate,
+            "pct_broadcast": self.pct_broadcast,
+            "mean_latency_all": self.mean_latency(),
+            "mean_latency_broadcast": self.mean_latency(Resolution.BROADCAST),
+            "mean_tuning_broadcast": self.mean_tuning(Resolution.BROADCAST),
+            "mean_peers": self.mean_peer_count(),
+        }

@@ -1,0 +1,48 @@
+"""Plain-text reporting for benchmark output.
+
+The benchmark harness prints the same rows the paper plots; these
+helpers render them as aligned ASCII tables so ``pytest benchmarks/``
+output is directly comparable with Figures 10–15.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_series(result: "SweepSeries") -> str:  # noqa: F821 (doc type)
+    """Render one figure panel (a SweepSeries) as a table."""
+    headers = [result.x_label] + list(result.series)
+    rows = [
+        [x] + [result.series[name][i] for name in result.series]
+        for i, x in enumerate(result.xs)
+    ]
+    return format_table(headers, rows, title=result.region)

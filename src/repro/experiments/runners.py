@@ -1,0 +1,175 @@
+"""Figure runners: the parameter sweeps behind Figures 10–15.
+
+Each ``run_*`` function reproduces one figure: it sweeps one parameter
+over the three Table 3 regions and returns, per region, the series the
+paper plots (percentage of queries resolved by each path).
+
+Scaling: the sweeps run on density-preserving scaled worlds (see
+:func:`repro.workloads.scaled_parameters`); ``area_scale`` and the
+warm-up/measurement budgets are exposed so tests run in seconds while
+the benchmarks use more substantial defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..workloads import (
+    ALL_REGIONS,
+    ParameterSet,
+    QueryKind,
+    scaled_parameters,
+)
+from .metrics import MetricsCollector
+from .simulator import Simulation
+
+KNN_SERIES = ("Solved by SBNN", "Solved by Approximate SBNN", "Solved by Broadcast")
+WQ_SERIES = ("Solved by SBWQ", "Solved by Broadcast")
+
+
+@dataclass(slots=True)
+class SweepSeries:
+    """One figure panel: a region's series over the swept parameter."""
+
+    region: str
+    x_label: str
+    xs: list[float]
+    series: dict[str, list[float]]
+    collectors: list[MetricsCollector] = field(default_factory=list)
+
+
+def _run_point(
+    base: ParameterSet,
+    kind: QueryKind,
+    area_scale: float,
+    seed: int,
+    warmup_queries: int,
+    measure_queries: int,
+    overrides: dict,
+    sim_kwargs: dict,
+) -> MetricsCollector:
+    params = scaled_parameters(base, area_scale=area_scale, **overrides)
+    sim = Simulation(params, seed=seed, **sim_kwargs)
+    return sim.run_workload(kind, warmup_queries, measure_queries)
+
+
+def run_sweep(
+    vary: str,
+    values: Sequence[float],
+    kind: QueryKind,
+    regions: Sequence[ParameterSet] = ALL_REGIONS,
+    area_scale: float = 0.1,
+    seed: int = 0,
+    warmup_queries: int = 2500,
+    measure_queries: int = 600,
+    x_label: str | None = None,
+    **sim_kwargs,
+) -> list[SweepSeries]:
+    """Generic sweep: vary one ParameterSet field, measure resolutions."""
+    results: list[SweepSeries] = []
+    for region_index, base in enumerate(regions):
+        if kind is QueryKind.KNN:
+            series = {name: [] for name in KNN_SERIES}
+        else:
+            series = {name: [] for name in WQ_SERIES}
+        collectors: list[MetricsCollector] = []
+        for value_index, value in enumerate(values):
+            collector = _run_point(
+                base,
+                kind,
+                area_scale,
+                seed + 1000 * region_index + value_index,
+                warmup_queries,
+                measure_queries,
+                {vary: value},
+                sim_kwargs,
+            )
+            collectors.append(collector)
+            if kind is QueryKind.KNN:
+                series[KNN_SERIES[0]].append(collector.pct_verified)
+                series[KNN_SERIES[1]].append(collector.pct_approximate)
+                series[KNN_SERIES[2]].append(collector.pct_broadcast)
+            else:
+                # The paper folds approximate answers out of the window
+                # experiments: SBWQ either covers the window or not.
+                series[WQ_SERIES[0]].append(
+                    collector.pct_verified + collector.pct_approximate
+                )
+                series[WQ_SERIES[1]].append(collector.pct_broadcast)
+        results.append(
+            SweepSeries(
+                region=base.name,
+                x_label=x_label or vary,
+                xs=[float(v) for v in values],
+                series=series,
+                collectors=collectors,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 10: kNN vs transmission range
+# ----------------------------------------------------------------------
+def run_knn_txrange(
+    values: Sequence[float] = (10, 50, 100, 150, 200), **kwargs
+) -> list[SweepSeries]:
+    """Figure 10: kNN resolution shares vs transmission range."""
+    kwargs.setdefault("x_label", "Transmission Range (m)")
+    return run_sweep("tx_range_m", values, QueryKind.KNN, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 11: kNN vs cache capacity
+# ----------------------------------------------------------------------
+def run_knn_cache(
+    values: Sequence[float] = (6, 12, 18, 24, 30), **kwargs
+) -> list[SweepSeries]:
+    """Figure 11: kNN resolution shares vs cache capacity."""
+    kwargs.setdefault("x_label", "Number of Cached Items")
+    return run_sweep("cache_size", values, QueryKind.KNN, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 12: kNN vs k
+# ----------------------------------------------------------------------
+def run_knn_k(
+    values: Sequence[float] = (3, 6, 9, 12, 15), **kwargs
+) -> list[SweepSeries]:
+    """Figure 12: kNN resolution shares vs the number of neighbours k."""
+    kwargs.setdefault("x_label", "Number of k")
+    return run_sweep("knn_k", values, QueryKind.KNN, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 13: window queries vs transmission range
+# ----------------------------------------------------------------------
+def run_wq_txrange(
+    values: Sequence[float] = (10, 50, 100, 150, 200), **kwargs
+) -> list[SweepSeries]:
+    """Figure 13: window-query resolution shares vs transmission range."""
+    kwargs.setdefault("x_label", "Transmission Range (m)")
+    return run_sweep("tx_range_m", values, QueryKind.WINDOW, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 14: window queries vs cache capacity
+# ----------------------------------------------------------------------
+def run_wq_cache(
+    values: Sequence[float] = (6, 12, 18, 24, 30), **kwargs
+) -> list[SweepSeries]:
+    """Figure 14: window-query resolution shares vs cache capacity."""
+    kwargs.setdefault("x_label", "Number of Cached Items")
+    return run_sweep("cache_size", values, QueryKind.WINDOW, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 15: window queries vs window size
+# ----------------------------------------------------------------------
+def run_wq_size(
+    values: Sequence[float] = (1, 2, 3, 4, 5), **kwargs
+) -> list[SweepSeries]:
+    """Figure 15: window-query resolution shares vs window size."""
+    kwargs.setdefault("x_label", "Query Window Size (%)")
+    return run_sweep("window_percent", values, QueryKind.WINDOW, **kwargs)

@@ -1,0 +1,328 @@
+"""The end-to-end simulation harness (Section 4.1's system model).
+
+One :class:`Simulation` wires together the whole stack for a single
+parameter set: POI field, base station (broadcast server + schedule),
+mobility fleet, peer network, and one cooperative cache per host.
+Queries arrive as a Poisson stream on the discrete-event kernel; each
+query runs the host pipeline of :mod:`repro.experiments.host`.
+
+Positions are refreshed in vectorised batches every
+``position_refresh_interval`` simulated seconds: random-waypoint legs
+last minutes, so a ≤10 s-stale snapshot changes nothing measurable and
+keeps 10^4–10^5 hosts affordable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cache import POICache, ReplacementPolicy
+from ..errors import ExperimentError
+from ..geometry import Point, Rect
+from ..mobility import WaypointFleet
+from ..model import POI
+from ..p2p import PeerNetwork, ShareResponse
+from ..sim import Environment
+from ..workloads import (
+    ParameterSet,
+    QueryEvent,
+    QueryKind,
+    QueryWorkload,
+    generate_pois,
+)
+from .host import HostQueryResult, MobileHost
+from .metrics import MetricsCollector
+from .station import BaseStation
+
+SECONDS_PER_HOUR = 3600.0
+
+
+class Simulation:
+    """A fully wired simulated world for one parameter set."""
+
+    def __init__(
+        self,
+        params: ParameterSet,
+        seed: int = 0,
+        policy_factory: Callable[[], ReplacementPolicy] | None = None,
+        accept_approximate: bool = True,
+        min_correctness: float = 0.5,
+        position_refresh_interval: float = 10.0,
+        p2p_latency: float = 0.05,
+        hilbert_order: int = 6,
+        bucket_capacity: int = 4,
+        entries_per_index_packet: int = 64,
+        m: int = 4,
+        packet_time: float = 0.1,
+        speed_range_mph: tuple[float, float] = (20.0, 60.0),
+        pause_range_s: tuple[float, float] = (0.0, 30.0),
+        cache_gossip: bool = True,
+        overhear: bool = True,
+        max_responders: int | None = None,
+        max_regions: int | None = None,
+        p2p_hops: int = 1,
+        enable_sharing: bool = True,
+        pois: Sequence[POI] | None = None,
+    ):
+        if position_refresh_interval <= 0:
+            raise ExperimentError("position_refresh_interval must be positive")
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.accept_approximate = accept_approximate
+        self.min_correctness = min_correctness
+        self.position_refresh_interval = position_refresh_interval
+        self.p2p_latency = p2p_latency
+        self.cache_gossip = cache_gossip
+        self.overhear = overhear
+        self.max_responders = max_responders
+        if p2p_hops < 1:
+            raise ExperimentError(f"p2p_hops must be >= 1, got {p2p_hops}")
+        self.p2p_hops = p2p_hops
+        # With sharing disabled the simulator degrades to the pure
+        # on-air system of Zheng et al. — the paper's baseline.
+        self.enable_sharing = enable_sharing
+
+        self.pois: list[POI] = (
+            list(pois)
+            if pois is not None
+            else generate_pois(params.bounds, params.poi_number, self.rng)
+        )
+        self.station = BaseStation(
+            self.pois,
+            params.bounds,
+            hilbert_order=hilbert_order,
+            bucket_capacity=bucket_capacity,
+            entries_per_index_packet=entries_per_index_packet,
+            m=m,
+            packet_time=packet_time,
+        )
+        speed_mi_s = (
+            speed_range_mph[0] / SECONDS_PER_HOUR,
+            speed_range_mph[1] / SECONDS_PER_HOUR,
+        )
+        self.fleet = WaypointFleet(
+            params.mh_number,
+            params.bounds,
+            self.rng,
+            speed_range=speed_mi_s,
+            pause_range=pause_range_s,
+        )
+        self.network = PeerNetwork(params.bounds, params.tx_range_mi)
+        # Section 4.1: a host "stores all the verified POIs and their
+        # minimum bounding boxes" — the number of retained regions is
+        # bounded by the POI capacity itself, not by a separate knob.
+        # ``max_regions`` overrides this for the ablation benchmarks.
+        region_cap = (
+            max_regions if max_regions is not None else max(4, params.cache_size)
+        )
+        self.hosts = [
+            MobileHost(
+                i,
+                POICache(
+                    params.cache_size,
+                    policy_factory() if policy_factory is not None else None,
+                    max_regions=region_cap,
+                ),
+            )
+            for i in range(params.mh_number)
+        ]
+        self.env = Environment()
+        self._xs: np.ndarray | None = None
+        self._ys: np.ndarray | None = None
+        self._hx: np.ndarray | None = None
+        self._hy: np.ndarray | None = None
+        self._last_refresh = -math.inf
+        self._refresh_positions(0.0)
+
+    # ------------------------------------------------------------------
+    # World state
+    # ------------------------------------------------------------------
+    def _refresh_positions(self, t: float) -> None:
+        self.fleet.advance_to(t)
+        self._xs, self._ys = self.fleet.positions()
+        self._hx, self._hy = self.fleet.headings()
+        self.network.update_positions(self._xs, self._ys)
+        self._last_refresh = t
+
+    def _maybe_refresh(self, t: float) -> None:
+        if t - self._last_refresh >= self.position_refresh_interval:
+            self._refresh_positions(t)
+
+    def host_position(self, host_id: int) -> Point:
+        """Position of a host in the current snapshot."""
+        if not (0 <= host_id < self.params.mh_number):
+            raise ExperimentError(f"unknown host {host_id}")
+        return Point(float(self._xs[host_id]), float(self._ys[host_id]))
+
+    def host_heading(self, host_id: int) -> tuple[float, float]:
+        return (float(self._hx[host_id]), float(self._hy[host_id]))
+
+    @property
+    def poi_density(self) -> float:
+        return self.params.poi_density
+
+    # ------------------------------------------------------------------
+    # Query pipeline
+    # ------------------------------------------------------------------
+    def _collect_responses(
+        self, host_id: int, position: Point, now: float
+    ) -> list[ShareResponse]:
+        if not self.enable_sharing:
+            return []
+        if self.p2p_hops == 1:
+            peer_ids = self.network.peers_of(host_id, position)
+        else:
+            peer_ids = self.network.peers_within_hops(
+                host_id, position, self.p2p_hops
+            )
+        if (
+            self.max_responders is not None
+            and peer_ids.size > self.max_responders
+        ):
+            peer_ids = self.rng.choice(
+                peer_ids, size=self.max_responders, replace=False
+            )
+        responses: list[ShareResponse] = []
+        own = self.hosts[host_id].share_response(now)
+        if own is not None:
+            responses.append(own)
+        for pid in peer_ids:
+            response = self.hosts[int(pid)].share_response(now)
+            if response is not None:
+                responses.append(response)
+        return responses
+
+    def execute_query(self, event: QueryEvent) -> HostQueryResult:
+        """Run one query event through the full pipeline."""
+        self._maybe_refresh(event.time)
+        host = self.hosts[event.host_id]
+        position = self.host_position(event.host_id)
+        heading = self.host_heading(event.host_id)
+        responses = self._collect_responses(event.host_id, position, event.time)
+        if event.kind is QueryKind.KNN:
+            result = host.execute_knn(
+                position,
+                heading,
+                event.k,
+                responses,
+                self.station.client,
+                self.poi_density,
+                event.time,
+                p2p_latency=self.p2p_latency * self.p2p_hops,
+                accept_approximate=self.accept_approximate,
+                min_correctness=self.min_correctness,
+                cache_gossip=self.cache_gossip,
+            )
+        else:
+            window = event.window_for(position, self.params.bounds)
+            result = host.execute_window(
+                position,
+                heading,
+                window,
+                responses,
+                self.station.client,
+                event.time,
+                p2p_latency=self.p2p_latency * self.p2p_hops,
+            )
+        if self.overhear and result.shared:
+            self._spread_overheard(event.host_id, result, event.time)
+        return result
+
+    def _spread_overheard(
+        self, querier: int, result: HostQueryResult, now: float
+    ) -> None:
+        """Cooperative caching of result sets (after Chow et al. [5]).
+
+        The exchange between the querier and the channel/peers happens
+        on a shared radio medium; single-hop neighbours overhear the
+        certified result and adopt the regions into their own caches,
+        subject to their own capacity and replacement policy.
+        """
+        position = self.host_position(querier)
+        for pid in self.network.peers_of(querier, position):
+            pid = int(pid)
+            peer_position = self.host_position(pid)
+            peer_heading = self.host_heading(pid)
+            for region, pois in result.shared:
+                self.hosts[pid].cache.insert_result(
+                    region, list(pois), now, peer_position, peer_heading
+                )
+
+    # ------------------------------------------------------------------
+    # Workload runs
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        kind: QueryKind,
+        warmup_queries: int,
+        measure_queries: int,
+    ) -> MetricsCollector:
+        """Run a Poisson query stream; record after the warm-up.
+
+        The warm-up fills the fleet's caches toward steady state
+        (Section 4.1: "all simulation results were recorded after the
+        system model reached steady state").
+        """
+        if warmup_queries < 0 or measure_queries < 1:
+            raise ExperimentError("invalid warmup/measure query counts")
+        workload = QueryWorkload(
+            self.params, kind, self.rng, start_time=self.env.now
+        )
+        collector = MetricsCollector()
+        total = warmup_queries + measure_queries
+
+        def driver(env: Environment):
+            done = 0
+            for event in workload:
+                yield env.timeout(event.time - env.now)
+                result = self.execute_query(event)
+                done += 1
+                if done > warmup_queries:
+                    collector.add(result.record)
+                if done >= total:
+                    return
+
+        self.env.run(until=self.env.process(driver(self.env)))
+        return collector
+
+    # ------------------------------------------------------------------
+    # One-shot public API (used by the examples and quick_world)
+    # ------------------------------------------------------------------
+    def run_knn_query(
+        self, host_id: int | None = None, k: int | None = None, now: float | None = None
+    ) -> HostQueryResult:
+        """Fire a single kNN query from a (random) host right now."""
+        if host_id is None:
+            host_id = int(self.rng.integers(self.params.mh_number))
+        event = QueryEvent(
+            time=self.env.now if now is None else now,
+            host_id=host_id,
+            kind=QueryKind.KNN,
+            k=k if k is not None else self.params.knn_k,
+        )
+        return self.execute_query(event)
+
+    def run_window_query(
+        self,
+        host_id: int | None = None,
+        window_area: float | None = None,
+        now: float | None = None,
+    ) -> HostQueryResult:
+        """Fire a single window query from a (random) host right now."""
+        if host_id is None:
+            host_id = int(self.rng.integers(self.params.mh_number))
+        event = QueryEvent(
+            time=self.env.now if now is None else now,
+            host_id=host_id,
+            kind=QueryKind.WINDOW,
+            window_area=(
+                window_area
+                if window_area is not None
+                else self.params.window_area_mi2
+            ),
+            center_offset=(0.0, 0.0),
+        )
+        return self.execute_query(event)

@@ -1,0 +1,90 @@
+"""The base-station module.
+
+Owns the broadcast server and schedule, and can *replay* the channel
+as an actual discrete-event process (one event per packet) — the
+experiment harness prices retrievals with the closed-form schedule
+arithmetic instead, and the replay exists to cross-validate that
+arithmetic and to drive the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..broadcast import BroadcastSchedule, BroadcastServer, OnAirClient
+from ..geometry import Rect
+from ..model import POI
+from ..sim import Environment, Store
+
+
+@dataclass(frozen=True, slots=True)
+class PacketEvent:
+    """One packet observed on the channel during a replay."""
+
+    time: float
+    kind: str  # "index" or "data"
+    ref: int  # index-copy number or bucket id
+
+
+class BaseStation:
+    """The wireless information server of Figure 3."""
+
+    def __init__(
+        self,
+        pois: Sequence[POI],
+        bounds: Rect,
+        hilbert_order: int = 6,
+        bucket_capacity: int = 4,
+        entries_per_index_packet: int = 64,
+        m: int = 4,
+        packet_time: float = 0.1,
+    ):
+        self.server = BroadcastServer(
+            pois,
+            bounds,
+            hilbert_order=hilbert_order,
+            bucket_capacity=bucket_capacity,
+            entries_per_index_packet=entries_per_index_packet,
+        )
+        self.schedule = BroadcastSchedule(
+            data_bucket_count=self.server.bucket_count,
+            index_packet_count=self.server.index.packet_count,
+            m=m,
+            packet_time=packet_time,
+        )
+        self.client = OnAirClient(self.server, self.schedule)
+
+    # ------------------------------------------------------------------
+    def cycle_slots(self) -> list[tuple[str, int]]:
+        """The per-cycle slot sequence: index copies and data buckets."""
+        slots: list[tuple[str, int]] = []
+        by_offset = {
+            self.schedule.bucket_offset(b): b
+            for b in range(self.schedule.data_bucket_count)
+        }
+        index_copy = 0
+        offset = 0
+        while offset < self.schedule.cycle_packets:
+            if offset in by_offset:
+                slots.append(("data", by_offset[offset]))
+                offset += 1
+            else:
+                for _ in range(self.schedule.index_packet_count):
+                    slots.append(("index", index_copy))
+                    offset += 1
+                index_copy += 1
+        return slots
+
+    def broadcast_process(self, env: Environment, channel: Store, cycles: int = 1):
+        """A DES process feeding ``cycles`` full cycles into ``channel``.
+
+        Each packet occupies ``packet_time``; its event is emitted at
+        the packet's *end* (a client has the packet once it has fully
+        arrived).
+        """
+        slots = self.cycle_slots()
+        for _ in range(cycles):
+            for kind, ref in slots:
+                yield env.timeout(self.schedule.packet_time)
+                channel.put(PacketEvent(env.now, kind, ref))

@@ -1,0 +1,76 @@
+"""Steady-state detection.
+
+Section 4.1: "All simulation results were recorded after the system
+model reached steady state."  The runners use fixed warm-up budgets;
+this module offers the adaptive alternative: run the workload in
+batches until the broadcast share stops drifting, then measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..workloads import QueryKind
+from .metrics import MetricsCollector
+from .simulator import Simulation
+
+
+@dataclass(frozen=True, slots=True)
+class SteadyStateReport:
+    """Outcome of an adaptive warm-up."""
+
+    converged: bool
+    batches_run: int
+    history: tuple[float, ...]  # broadcast share per warm-up batch
+    measurement: MetricsCollector
+
+
+def run_until_steady(
+    sim: Simulation,
+    kind: QueryKind,
+    batch_queries: int = 500,
+    tolerance_pct: float = 3.0,
+    stable_batches: int = 2,
+    max_batches: int = 30,
+    measure_queries: int | None = None,
+) -> SteadyStateReport:
+    """Warm up until the broadcast share settles, then measure.
+
+    The broadcast share is the slowest-moving of the resolution
+    percentages (caches only ever improve it), so it is the
+    convergence witness: once ``stable_batches`` consecutive batch-to-
+    batch changes stay within ``tolerance_pct`` points, the system is
+    declared steady and a final measurement batch is recorded.
+    """
+    if batch_queries < 1 or max_batches < 1:
+        raise ExperimentError("invalid steady-state batch configuration")
+    if tolerance_pct <= 0:
+        raise ExperimentError("tolerance must be positive")
+    if stable_batches < 1:
+        raise ExperimentError("stable_batches must be >= 1")
+    history: list[float] = []
+    stable_run = 0
+    converged = False
+    for batch in range(max_batches):
+        collector = sim.run_workload(kind, 0, batch_queries)
+        share = collector.pct_broadcast
+        if history and abs(share - history[-1]) <= tolerance_pct:
+            stable_run += 1
+        else:
+            stable_run = 0
+        history.append(share)
+        if stable_run >= stable_batches:
+            converged = True
+            break
+    measurement = sim.run_workload(
+        kind,
+        0,
+        measure_queries if measure_queries is not None else batch_queries,
+    )
+    return SteadyStateReport(
+        converged=converged,
+        batches_run=len(history),
+        history=tuple(history),
+        measurement=measurement,
+    )

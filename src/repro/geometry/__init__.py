@@ -1,0 +1,42 @@
+"""Geometry substrate: points, rectangles, discs, rectilinear regions,
+simple polygons, and the Hilbert space-filling curve.
+
+This package replaces the computational-geometry dependencies of the
+original system (a MapOverlay implementation and ad-hoc disc/area
+routines) with exact, dependency-free code specialised to the shapes
+the paper actually uses: axis-aligned MBRs and discs.
+"""
+
+from .circle import Circle, circle_rect_intersection_area
+from .hilbert import HilbertGrid, hilbert_d_to_xy, hilbert_xy_to_d
+from .point import Point, centroid
+from .polygon import Polygon
+from .rect import Rect
+from .region import (
+    RectUnion,
+    intervals_complement_within,
+    intervals_cover,
+    intervals_difference,
+    intervals_total_length,
+    merge_intervals,
+)
+from .segment import Segment
+
+__all__ = [
+    "Circle",
+    "HilbertGrid",
+    "Point",
+    "Polygon",
+    "Rect",
+    "RectUnion",
+    "Segment",
+    "centroid",
+    "circle_rect_intersection_area",
+    "hilbert_d_to_xy",
+    "hilbert_xy_to_d",
+    "intervals_complement_within",
+    "intervals_cover",
+    "intervals_difference",
+    "intervals_total_length",
+    "merge_intervals",
+]

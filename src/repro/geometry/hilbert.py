@@ -1,0 +1,171 @@
+"""Hilbert space-filling curve encoding.
+
+The broadcast server (Zheng et al. [17], Section 2.1 of the paper)
+orders POIs on the channel by their Hilbert value because the curve
+preserves locality: cells that are close in the plane tend to be close
+on the curve, so a spatial query touches a short broadcast segment.
+
+The functions here implement the classic iterative transform between a
+cell index ``(x, y)`` on a ``2^order x 2^order`` grid and the distance
+``d`` along the curve, plus helpers to map continuous coordinates into
+cells of an arbitrary bounding rectangle.
+"""
+
+from __future__ import annotations
+
+from ..errors import GeometryError
+from .point import Point
+from .rect import Rect
+
+
+def _rotate(side: int, x: int, y: int, rx: int, ry: int) -> tuple[int, int]:
+    """Rotate/flip a quadrant so the curve orientation is preserved."""
+    if ry == 0:
+        if rx == 1:
+            x = side - 1 - x
+            y = side - 1 - y
+        x, y = y, x
+    return x, y
+
+
+def hilbert_xy_to_d(order: int, x: int, y: int) -> int:
+    """Distance along the Hilbert curve of cell ``(x, y)``."""
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise GeometryError(f"cell ({x}, {y}) outside a {side}x{side} Hilbert grid")
+    d = 0
+    s = side // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        x, y = _rotate(s, x, y, rx, ry)
+        s //= 2
+    return d
+
+
+def hilbert_d_to_xy(order: int, d: int) -> tuple[int, int]:
+    """Cell ``(x, y)`` at distance ``d`` along the Hilbert curve."""
+    side = 1 << order
+    if not (0 <= d < side * side):
+        raise GeometryError(f"distance {d} outside a {side}x{side} Hilbert grid")
+    x = y = 0
+    t = d
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        x, y = _rotate(s, x, y, rx, ry)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+class HilbertGrid:
+    """A Hilbert curve laid over an arbitrary bounding rectangle.
+
+    Continuous coordinates are binned into ``2^order x 2^order`` cells;
+    each cell has a curve index in ``[0, 4^order)``.
+    """
+
+    __slots__ = ("order", "bounds", "side", "_cell_w", "_cell_h")
+
+    def __init__(self, order: int, bounds: Rect) -> None:
+        if order < 1:
+            raise GeometryError("Hilbert order must be >= 1")
+        if bounds.is_degenerate():
+            raise GeometryError("Hilbert grid over a degenerate rectangle")
+        self.order = order
+        self.bounds = bounds
+        self.side = 1 << order
+        self._cell_w = bounds.width / self.side
+        self._cell_h = bounds.height / self.side
+
+    @property
+    def cell_count(self) -> int:
+        return self.side * self.side
+
+    @property
+    def cell_diagonal(self) -> float:
+        """Length of a cell diagonal (uncertainty of index-only positions)."""
+        return (self._cell_w**2 + self._cell_h**2) ** 0.5
+
+    def cell_of_point(self, p: Point) -> tuple[int, int]:
+        """The grid cell containing ``p`` (clamped to the grid edge)."""
+        cx = int((p.x - self.bounds.x1) / self._cell_w)
+        cy = int((p.y - self.bounds.y1) / self._cell_h)
+        cx = max(0, min(self.side - 1, cx))
+        cy = max(0, min(self.side - 1, cy))
+        return cx, cy
+
+    def value_of_point(self, p: Point) -> int:
+        """Hilbert value of the cell containing ``p``."""
+        cx, cy = self.cell_of_point(p)
+        return hilbert_xy_to_d(self.order, cx, cy)
+
+    def cell_rect(self, cx: int, cy: int) -> Rect:
+        """The spatial extent of cell ``(cx, cy)``."""
+        x1 = self.bounds.x1 + cx * self._cell_w
+        y1 = self.bounds.y1 + cy * self._cell_h
+        return Rect(x1, y1, x1 + self._cell_w, y1 + self._cell_h)
+
+    def rect_of_value(self, d: int) -> Rect:
+        """The spatial extent of the cell with Hilbert value ``d``."""
+        cx, cy = hilbert_d_to_xy(self.order, d)
+        return self.cell_rect(cx, cy)
+
+    def center_of_value(self, d: int) -> Point:
+        """Centre point of the cell with Hilbert value ``d``."""
+        return self.rect_of_value(d).center
+
+    def aligned_blocks(
+        self, lo: int, hi: int, min_cells: int = 1
+    ) -> list[Rect]:
+        """Square extents of the maximal 4^m-aligned runs inside ``[lo, hi]``.
+
+        A run of Hilbert values aligned at a multiple of ``4^m`` and of
+        length ``4^m`` occupies exactly one ``2^m x 2^m`` square of
+        cells, so each returned rectangle is a region whose cells all
+        lie inside the value range — the sound cacheable regions of a
+        contiguous broadcast-segment download.  Runs smaller than
+        ``min_cells`` are dropped.
+        """
+        if not (0 <= lo <= hi < self.cell_count):
+            raise GeometryError(f"invalid Hilbert range [{lo}, {hi}]")
+        blocks: list[Rect] = []
+        cur = lo
+        while cur <= hi:
+            size = 1
+            while cur % (size * 4) == 0 and cur + size * 4 - 1 <= hi:
+                size *= 4
+            if size >= min_cells:
+                side = int(round(size**0.5))
+                cx, cy = hilbert_d_to_xy(self.order, cur)
+                bx = (cx // side) * side
+                by = (cy // side) * side
+                low = self.cell_rect(bx, by)
+                high = self.cell_rect(bx + side - 1, by + side - 1)
+                blocks.append(low.union_mbr(high))
+            cur += size
+        return blocks
+
+    def values_intersecting(self, window: Rect) -> list[int]:
+        """Hilbert values of all cells intersecting ``window``, sorted.
+
+        This is the candidate set of the on-air window algorithm: the
+        first and last values bound the broadcast segment that must be
+        listened to.
+        """
+        clipped = window.intersection(self.bounds)
+        if clipped is None:
+            return []
+        cx1, cy1 = self.cell_of_point(Point(clipped.x1, clipped.y1))
+        cx2, cy2 = self.cell_of_point(Point(clipped.x2, clipped.y2))
+        values = []
+        for cx in range(cx1, cx2 + 1):
+            for cy in range(cy1, cy2 + 1):
+                values.append(hilbert_xy_to_d(self.order, cx, cy))
+        values.sort()
+        return values

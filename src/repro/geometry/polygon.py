@@ -1,0 +1,88 @@
+"""Simple polygons (no self-intersection assumed).
+
+The merged verified region itself is handled exactly by
+:class:`repro.geometry.region.RectUnion`; this module provides the
+generic polygon operations (shoelace area, ray-casting containment)
+used by the analysis module and by tests that cross-check the
+rectilinear machinery against an independent formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GeometryError
+from .point import Point
+from .rect import Rect
+from .segment import Segment
+
+
+class Polygon:
+    """An immutable simple polygon defined by its vertex ring."""
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        if len(vertices) < 3:
+            raise GeometryError("a polygon needs at least three vertices")
+        ring = list(vertices)
+        if ring[0] == ring[-1]:
+            ring = ring[:-1]
+        if len(ring) < 3:
+            raise GeometryError("a polygon needs at least three distinct vertices")
+        self._vertices = tuple(ring)
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        return cls(rect.corners())
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        return self._vertices
+
+    def edges(self) -> list[Segment]:
+        verts = self._vertices
+        return [
+            Segment(verts[i], verts[(i + 1) % len(verts)])
+            for i in range(len(verts))
+        ]
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace signed area (positive for counter-clockwise rings)."""
+        total = 0.0
+        verts = self._vertices
+        for i, a in enumerate(verts):
+            b = verts[(i + 1) % len(verts)]
+            total += a.x * b.y - b.x * a.y
+        return total / 2.0
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area)
+
+    @property
+    def perimeter(self) -> float:
+        return sum(edge.length for edge in self.edges())
+
+    def bbox(self) -> Rect:
+        return Rect.from_points(self._vertices)
+
+    def contains_point(self, p: Point) -> bool:
+        """Ray-casting containment; boundary points count as inside."""
+        verts = self._vertices
+        n = len(verts)
+        inside = False
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            if Segment(a, b).distance_to_point(p) == 0.0:
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def distance_to_boundary(self, p: Point) -> float:
+        return min(edge.distance_to_point(p) for edge in self.edges())

@@ -1,0 +1,326 @@
+"""Rectilinear regions: exact unions of axis-aligned rectangles.
+
+Every verified region in the system is an MBR, so the *merged verified
+region* (``MVR`` in the paper, built with a MapOverlay in the authors'
+implementation) is a union of rectangles.  :class:`RectUnion` computes
+that union exactly with a slab decomposition:
+
+* the x axis is cut at every rectangle edge, producing vertical slabs;
+* within each slab the covered y extent is a set of merged intervals;
+* the union's area, containment tests, boundary (including the edges of
+  interior holes — the paper's "unverified regions inside the merged
+  verified region"), window coverage, and window subtraction all follow
+  from the slab structure with no floating-point construction error
+  beyond the input coordinates themselves.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from ..errors import GeometryError
+from .circle import Circle, circle_rect_intersection_area
+from .point import Point
+from .rect import Rect
+from .segment import Segment
+
+Interval = tuple[float, float]
+
+
+# ----------------------------------------------------------------------
+# Interval algebra (closed intervals on a line)
+# ----------------------------------------------------------------------
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Union of closed intervals, returned sorted and disjoint.
+
+    Touching intervals (shared endpoint) are merged; empty and inverted
+    inputs are dropped.
+    """
+    cleaned = sorted((lo, hi) for lo, hi in intervals if hi > lo)
+    merged: list[Interval] = []
+    for lo, hi in cleaned:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def intervals_cover(intervals: Sequence[Interval], lo: float, hi: float) -> bool:
+    """True when ``[lo, hi]`` lies inside the (merged, sorted) intervals."""
+    if hi < lo:
+        raise GeometryError("inverted interval in coverage test")
+    for a, b in intervals:
+        if a <= lo and hi <= b:
+            return True
+    return False
+
+
+def intervals_complement_within(
+    intervals: Sequence[Interval], lo: float, hi: float
+) -> list[Interval]:
+    """Gaps of the (merged, sorted) intervals inside the window ``[lo, hi]``."""
+    gaps: list[Interval] = []
+    cursor = lo
+    for a, b in intervals:
+        if b <= cursor:
+            continue
+        if a >= hi:
+            break
+        if a > cursor:
+            gaps.append((cursor, min(a, hi)))
+        cursor = max(cursor, b)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        gaps.append((cursor, hi))
+    return [(a, b) for a, b in gaps if b > a]
+
+
+def intervals_difference(
+    minuend: Sequence[Interval], subtrahend: Sequence[Interval]
+) -> list[Interval]:
+    """Measure-theoretic difference ``minuend - subtrahend`` (both merged)."""
+    result: list[Interval] = []
+    for lo, hi in minuend:
+        result.extend(intervals_complement_within(subtrahend, lo, hi))
+    return merge_intervals(result)
+
+
+def intervals_total_length(intervals: Sequence[Interval]) -> float:
+    """Total length of disjoint intervals."""
+    return sum(hi - lo for lo, hi in intervals)
+
+
+# ----------------------------------------------------------------------
+# Rectangle union
+# ----------------------------------------------------------------------
+class RectUnion:
+    """The union of a set of axis-aligned rectangles, as a closed region.
+
+    The union is immutable once built.  Degenerate (zero-area) input
+    rectangles contribute nothing and are dropped.
+    """
+
+    __slots__ = ("_rects", "_xs", "_slab_intervals", "_area", "_boundary")
+
+    def __init__(self, rects: Iterable[Rect] = ()) -> None:
+        self._rects: tuple[Rect, ...] = tuple(
+            r for r in rects if not r.is_degenerate()
+        )
+        xs = sorted({x for r in self._rects for x in (r.x1, r.x2)})
+        self._xs: list[float] = xs
+        slabs: list[list[Interval]] = []
+        for xa, xb in zip(xs, xs[1:]):
+            covering = [
+                (r.y1, r.y2) for r in self._rects if r.x1 <= xa and r.x2 >= xb
+            ]
+            slabs.append(merge_intervals(covering))
+        self._slab_intervals: list[list[Interval]] = slabs
+        self._area = sum(
+            (xb - xa) * intervals_total_length(iv)
+            for (xa, xb), iv in zip(zip(xs, xs[1:]), slabs)
+        )
+        self._boundary: list[Segment] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "RectUnion":
+        return cls(())
+
+    def union_with(self, rects: Iterable[Rect]) -> "RectUnion":
+        """A new union that also covers ``rects``."""
+        return RectUnion(list(self._rects) + list(rects))
+
+    @property
+    def rects(self) -> tuple[Rect, ...]:
+        """The input rectangles (overlapping, as provided)."""
+        return self._rects
+
+    # ------------------------------------------------------------------
+    # Measures and predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self._area == 0.0
+
+    @property
+    def area(self) -> float:
+        """Exact area of the union."""
+        return self._area
+
+    def mbr(self) -> Rect:
+        """Bounding rectangle of the whole union."""
+        if not self._rects:
+            raise GeometryError("MBR of an empty region")
+        return Rect.bounding(self._rects)
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment (points on the boundary are inside)."""
+        xs = self._xs
+        if not xs or p.x < xs[0] or p.x > xs[-1]:
+            return False
+        idx = bisect_right(xs, p.x) - 1
+        candidates = []
+        if 0 <= idx < len(self._slab_intervals):
+            candidates.append(idx)
+        if p.x == xs[idx] and idx - 1 >= 0:
+            candidates.append(idx - 1)
+        for i in candidates:
+            for y1, y2 in self._slab_intervals[i]:
+                if y1 <= p.y <= y2:
+                    return True
+        return False
+
+    def covers_rect(self, window: Rect) -> bool:
+        """True when the window lies entirely inside the union.
+
+        Degenerate windows reduce to containment of their endpoints and
+        midpoint (sufficient for the closed regions used here, where a
+        degenerate window only ever arises from a degenerate query).
+        """
+        if window.is_degenerate():
+            mid = window.center
+            return all(
+                self.contains_point(p) for p in (*window.corners(), mid)
+            )
+        xs = self._xs
+        if not xs or window.x1 < xs[0] or window.x2 > xs[-1]:
+            return False
+        for (xa, xb), intervals in self._iter_slabs():
+            if xb <= window.x1 or xa >= window.x2:
+                continue
+            if not intervals_cover(intervals, window.y1, window.y2):
+                return False
+        return True
+
+    def intersects_rect(self, window: Rect) -> bool:
+        """True when the window and the union share positive area."""
+        for (xa, xb), intervals in self._iter_slabs():
+            if xb <= window.x1 or xa >= window.x2:
+                continue
+            for y1, y2 in intervals:
+                if y1 < window.y2 and window.y1 < y2:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Decompositions
+    # ------------------------------------------------------------------
+    def _iter_slabs(self):
+        return zip(zip(self._xs, self._xs[1:]), self._slab_intervals)
+
+    def disjoint_rects(self) -> list[Rect]:
+        """The union as a list of disjoint rectangles (slab pieces)."""
+        pieces: list[Rect] = []
+        for (xa, xb), intervals in self._iter_slabs():
+            for y1, y2 in intervals:
+                pieces.append(Rect(xa, y1, xb, y2))
+        return pieces
+
+    def subtract_from_rect(self, window: Rect) -> list[Rect]:
+        """The uncovered remainder ``window - union`` as disjoint rectangles.
+
+        This is the reduced query window ``w'`` of Section 3.4.2 (SBWQ
+        broadcast-channel data filtering).
+        """
+        if window.is_degenerate():
+            return [] if self.covers_rect(window) else [window]
+        xs = self._xs
+        remainder: list[Rect] = []
+        if not xs:
+            return [window]
+        left_edge = min(max(xs[0], window.x1), window.x2)
+        right_edge = max(min(xs[-1], window.x2), window.x1)
+        if window.x1 < left_edge:
+            remainder.append(Rect(window.x1, window.y1, left_edge, window.y2))
+        if right_edge < window.x2 and right_edge >= left_edge:
+            remainder.append(Rect(right_edge, window.y1, window.x2, window.y2))
+        if left_edge >= right_edge:
+            return [r for r in remainder if not r.is_degenerate()]
+        for (xa, xb), intervals in self._iter_slabs():
+            lo_x = max(xa, window.x1)
+            hi_x = min(xb, window.x2)
+            if lo_x >= hi_x:
+                continue
+            for g1, g2 in intervals_complement_within(
+                intervals, window.y1, window.y2
+            ):
+                remainder.append(Rect(lo_x, g1, hi_x, g2))
+        return [r for r in remainder if not r.is_degenerate()]
+
+    # ------------------------------------------------------------------
+    # Boundary
+    # ------------------------------------------------------------------
+    def boundary_segments(self) -> list[Segment]:
+        """All boundary segments, *including* the edges of interior holes.
+
+        Horizontal edges come directly from the slab intervals; vertical
+        edges are the parts of each slab border covered on exactly one
+        side (symmetric difference of the adjacent slabs' intervals).
+        Collinear fragments are not merged — irrelevant for distance
+        queries.  The result is computed once and cached (the region is
+        immutable).
+        """
+        if self._boundary is not None:
+            return self._boundary
+        segments: list[Segment] = []
+        for (xa, xb), intervals in self._iter_slabs():
+            for y1, y2 in intervals:
+                segments.append(Segment(Point(xa, y1), Point(xb, y1)))
+                segments.append(Segment(Point(xa, y2), Point(xb, y2)))
+        n_slabs = len(self._slab_intervals)
+        for i, x in enumerate(self._xs):
+            left = self._slab_intervals[i - 1] if i > 0 else []
+            right = self._slab_intervals[i] if i < n_slabs else []
+            exposed = intervals_difference(left, right) + intervals_difference(
+                right, left
+            )
+            for y1, y2 in exposed:
+                segments.append(Segment(Point(x, y1), Point(x, y2)))
+        self._boundary = segments
+        return segments
+
+    def distance_to_boundary(self, p: Point) -> float:
+        """Distance from ``p`` to the union's boundary (``||q, e_s||``).
+
+        For a query point inside the region this is the radius of the
+        largest disc around ``p`` contained in the region — exactly the
+        verification bound of Lemma 3.1.
+        """
+        if self.is_empty:
+            raise GeometryError("distance to the boundary of an empty region")
+        return min(
+            seg.distance_to_point(p) for seg in self.boundary_segments()
+        )
+
+    def boundary_length(self) -> float:
+        """Total length of the boundary (holes included)."""
+        return sum(seg.length for seg in self.boundary_segments())
+
+    # ------------------------------------------------------------------
+    # Disc interactions (Lemma 3.2 support)
+    # ------------------------------------------------------------------
+    def disc_intersection_area(self, circle: Circle) -> float:
+        """Exact area of ``disc ∩ union``."""
+        total = 0.0
+        for piece in self.disjoint_rects():
+            if circle.intersects_rect(piece):
+                total += circle_rect_intersection_area(circle, piece)
+        return min(total, circle.area)
+
+    def disc_uncovered_area(self, circle: Circle) -> float:
+        """Exact area of ``disc - union`` — the *unverified region* size."""
+        return max(0.0, circle.area - self.disc_intersection_area(circle))
+
+    def contains_circle(self, circle: Circle) -> bool:
+        """True when the whole disc lies inside the union."""
+        if self.is_empty:
+            return False
+        if not self.contains_point(circle.center):
+            return False
+        return circle.radius <= self.distance_to_boundary(circle.center)

@@ -1,0 +1,22 @@
+"""Spatial indexing substrate: R-tree, uniform grid, brute-force oracle."""
+
+from .brute import (
+    brute_force_knn,
+    brute_force_range,
+    brute_force_window,
+    collective_mbr,
+)
+from .grid import UniformGrid
+from .quadtree import QuadTree
+from .rtree import CountingRTreeView, RTree
+
+__all__ = [
+    "CountingRTreeView",
+    "QuadTree",
+    "RTree",
+    "UniformGrid",
+    "brute_force_knn",
+    "brute_force_range",
+    "brute_force_window",
+    "collective_mbr",
+]

@@ -1,0 +1,55 @@
+"""Linear-scan spatial search.
+
+The brute-force index is the correctness oracle for the R-tree and the
+grid, and is also genuinely used for small collections (peer caches
+hold tens of POIs, where a scan beats any structure).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..geometry import Point, Rect
+from ..model import POI, QueryResultEntry
+
+
+def brute_force_knn(
+    pois: Iterable[POI], query: Point, k: int
+) -> list[QueryResultEntry]:
+    """The ``k`` POIs nearest to ``query``, sorted by ascending distance.
+
+    Ties are broken by POI id so results are deterministic.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    ranked = sorted(
+        ((poi.distance_to(query), poi.poi_id, poi) for poi in pois),
+    )
+    return [QueryResultEntry(poi, dist) for dist, _, poi in ranked[:k]]
+
+
+def brute_force_window(pois: Iterable[POI], window: Rect) -> list[POI]:
+    """All POIs inside the (closed) query window, sorted by id."""
+    hits = [poi for poi in pois if window.contains_point(poi.location)]
+    hits.sort(key=lambda poi: poi.poi_id)
+    return hits
+
+
+def brute_force_range(
+    pois: Iterable[POI], center: Point, radius: float
+) -> list[POI]:
+    """All POIs within ``radius`` of ``center``, sorted by distance."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    hits = [
+        (poi.distance_to(center), poi.poi_id, poi)
+        for poi in pois
+        if poi.distance_to(center) <= radius
+    ]
+    hits.sort()
+    return [poi for _, _, poi in hits]
+
+
+def collective_mbr(pois: Sequence[POI]) -> Rect:
+    """The MBR of a non-empty POI collection (a cache's verified region)."""
+    return Rect.from_points([poi.location for poi in pois])

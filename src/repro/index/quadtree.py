@@ -1,0 +1,164 @@
+"""A point-region (PR) quadtree.
+
+Section 2.2 cites the quadtree family (Aboulnaga & Aref's linear
+quadtrees) as the other classical disk structure for window queries;
+this is the in-memory baseline the benchmarks compare against the
+R-tree and against on-air retrieval.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from ..errors import GeometryError
+from ..geometry import Point, Rect
+from ..model import POI, QueryResultEntry
+import heapq
+
+
+class _QuadNode:
+    __slots__ = ("bounds", "items", "children")
+
+    def __init__(self, bounds: Rect):
+        self.bounds = bounds
+        self.items: list[tuple[Point, Any]] | None = []
+        self.children: list["_QuadNode"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A PR quadtree over points inside a fixed bounding rectangle."""
+
+    def __init__(self, bounds: Rect, node_capacity: int = 8, max_depth: int = 16):
+        if bounds.is_degenerate():
+            raise GeometryError("quadtree bounds must have positive area")
+        if node_capacity < 1:
+            raise GeometryError("node_capacity must be >= 1")
+        if max_depth < 1:
+            raise GeometryError("max_depth must be >= 1")
+        self.bounds = bounds
+        self.node_capacity = node_capacity
+        self.max_depth = max_depth
+        self._root = _QuadNode(bounds)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @classmethod
+    def from_pois(cls, pois, bounds: Rect, node_capacity: int = 8) -> "QuadTree":
+        tree = cls(bounds, node_capacity=node_capacity)
+        for poi in pois:
+            tree.insert(poi.location, poi)
+        return tree
+
+    # ------------------------------------------------------------------
+    def insert(self, point: Point, item: Any) -> None:
+        """Insert a point item; the point must lie inside the bounds."""
+        if not self.bounds.contains_point(point):
+            raise GeometryError(f"point {point} outside quadtree bounds")
+        self._insert(self._root, point, item, depth=0)
+        self._size += 1
+
+    def _insert(self, node: _QuadNode, point: Point, item: Any, depth: int) -> None:
+        while not node.is_leaf:
+            node = self._child_for(node, point)
+            depth += 1
+        node.items.append((point, item))
+        if len(node.items) > self.node_capacity and depth < self.max_depth - 1:
+            self._split(node)
+
+    @staticmethod
+    def _quadrants(bounds: Rect) -> list[Rect]:
+        cx, cy = bounds.center.x, bounds.center.y
+        return [
+            Rect(bounds.x1, bounds.y1, cx, cy),
+            Rect(cx, bounds.y1, bounds.x2, cy),
+            Rect(bounds.x1, cy, cx, bounds.y2),
+            Rect(cx, cy, bounds.x2, bounds.y2),
+        ]
+
+    def _child_for(self, node: _QuadNode, point: Point) -> _QuadNode:
+        cx, cy = node.bounds.center.x, node.bounds.center.y
+        index = (1 if point.x >= cx else 0) + (2 if point.y >= cy else 0)
+        return node.children[index]
+
+    def _split(self, node: _QuadNode) -> None:
+        node.children = [_QuadNode(q) for q in self._quadrants(node.bounds)]
+        items = node.items
+        node.items = None
+        for point, item in items:
+            self._child_for(node, point).items.append((point, item))
+
+    # ------------------------------------------------------------------
+    def window_query(self, window: Rect) -> list[Any]:
+        """All items whose point lies in the (closed) window."""
+        hits: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bounds.intersects(window):
+                continue
+            if node.is_leaf:
+                hits.extend(
+                    item
+                    for point, item in node.items
+                    if window.contains_point(point)
+                )
+            else:
+                stack.extend(node.children)
+        return hits
+
+    def nearest(self, query: Point, k: int = 1) -> list[QueryResultEntry]:
+        """Best-first kNN over the quadtree."""
+        if k <= 0:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, Any]] = [(0.0, next(counter), self._root)]
+        results: list[QueryResultEntry] = []
+        while heap and len(results) < k:
+            dist, _, element = heapq.heappop(heap)
+            if isinstance(element, _QuadNode):
+                if element.is_leaf:
+                    for point, item in element.items:
+                        heapq.heappush(
+                            heap,
+                            (point.distance_to(query), next(counter), (item,)),
+                        )
+                else:
+                    for child in element.children:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child.bounds.distance_to_point(query),
+                                next(counter),
+                                child,
+                            ),
+                        )
+            else:
+                results.append(QueryResultEntry(element[0], dist))
+        return results
+
+    def iter_items(self) -> Iterator[Any]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for _, item in node.items:
+                    yield item
+            else:
+                stack.extend(node.children)
+
+    def depth(self) -> int:
+        """Maximum node depth currently in the tree."""
+
+        def walk(node: _QuadNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self._root)

@@ -1,0 +1,424 @@
+"""An R-tree (Guttman 1984) with the classical query algorithms.
+
+This is the disk-era substrate the paper's Section 2.2 surveys: the
+server-side spatial database, plus the two canonical kNN strategies it
+cites — depth-first branch-and-bound (Roussopoulos et al. 1995) and
+best-first distance browsing (Hjaltason & Samet 1999) — and R-tree
+window queries.  Insertion uses Guttman's quadratic split; bulk loading
+uses Sort-Tile-Recursive (STR).
+
+The tree stores arbitrary items keyed by rectangles; point data uses
+degenerate rectangles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import GeometryError
+from ..geometry import Point, Rect
+from ..model import POI, QueryResultEntry
+
+
+class _Entry:
+    """A node slot: a rectangle plus either a child node or a leaf item."""
+
+    __slots__ = ("rect", "child", "item")
+
+    def __init__(self, rect: Rect, child: "_Node | None" = None, item: Any = None):
+        self.rect = rect
+        self.child = child
+        self.item = item
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries", "parent")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = []
+        self.parent: "_Node | None" = None
+
+    def mbr(self) -> Rect:
+        return Rect.bounding([e.rect for e in self.entries])
+
+
+def _enlargement(base: Rect, extra: Rect) -> float:
+    """Area growth of ``base`` when extended to cover ``extra``."""
+    return base.union_mbr(extra).area - base.area
+
+
+class RTree:
+    """A dynamic R-tree over rectangle-keyed items."""
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None):
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries if min_entries is not None else max(1, max_entries // 2 - 1)
+        )
+        if not (1 <= self.min_entries <= self.max_entries // 2):
+            raise ValueError(
+                f"min_entries must be in [1, {self.max_entries // 2}],"
+                f" got {self.min_entries}"
+            )
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is just a leaf root)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child
+            h += 1
+        return h
+
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Insert an item keyed by ``rect``."""
+        leaf = self._choose_leaf(self._root, rect)
+        leaf.entries.append(_Entry(rect, item=item))
+        self._size += 1
+        self._handle_overflow(leaf)
+
+    def insert_point(self, point: Point, item: Any) -> None:
+        """Insert a point item (stored as a degenerate rectangle)."""
+        self.insert(Rect(point.x, point.y, point.x, point.y), item)
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[tuple[Rect, Any]],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive loading."""
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        if not items:
+            return tree
+        entries = [_Entry(rect, item=item) for rect, item in items]
+        level = tree._str_pack(entries, is_leaf=True)
+        while len(level) > 1:
+            parents = [
+                _Entry(node.mbr(), child=node) for node in level
+            ]
+            level = tree._str_pack(parents, is_leaf=False)
+        tree._root = level[0]
+        tree._size = len(items)
+        return tree
+
+    @classmethod
+    def from_pois(cls, pois: Iterable[POI], max_entries: int = 8) -> "RTree":
+        """Bulk load a tree of POIs keyed by their (point) locations."""
+        items = [
+            (Rect(p.x, p.y, p.x, p.y), p) for p in pois
+        ]
+        return cls.bulk_load(items, max_entries=max_entries)
+
+    def _str_pack(self, entries: list[_Entry], is_leaf: bool) -> list[_Node]:
+        """One STR packing pass: group entries into nodes of size <= M."""
+        cap = self.max_entries
+        n = len(entries)
+        if n <= cap:
+            node = _Node(is_leaf)
+            node.entries = list(entries)
+            return [node]
+        leaf_count = math.ceil(n / cap)
+        slice_count = math.ceil(math.sqrt(leaf_count))
+        per_slice = slice_count * cap
+        entries = sorted(entries, key=lambda e: (e.rect.center.x, e.rect.center.y))
+        nodes: list[_Node] = []
+        for i in range(0, n, per_slice):
+            chunk = sorted(
+                entries[i : i + per_slice],
+                key=lambda e: (e.rect.center.y, e.rect.center.x),
+            )
+            groups = [chunk[j : j + cap] for j in range(0, len(chunk), cap)]
+            if len(groups) > 1 and len(groups[-1]) < self.min_entries:
+                # Even out the last two groups so no node underflows.
+                combined = groups[-2] + groups[-1]
+                half = len(combined) // 2
+                groups[-2:] = [combined[:half], combined[half:]]
+            for group in groups:
+                node = _Node(is_leaf)
+                node.entries = group
+                nodes.append(node)
+        if len(nodes) > 1 and len(nodes[-1].entries) < self.min_entries:
+            # A tiny final slice can still underflow; borrow from the
+            # previous node (which is full, so it cannot underflow).
+            needed = self.min_entries - len(nodes[-1].entries)
+            donor = nodes[-2].entries
+            nodes[-1].entries = donor[-needed:] + nodes[-1].entries
+            nodes[-2].entries = donor[:-needed]
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Insertion internals (Guttman)
+    # ------------------------------------------------------------------
+    def _choose_leaf(self, node: _Node, rect: Rect) -> _Node:
+        while not node.is_leaf:
+            best = min(
+                node.entries,
+                key=lambda e: (_enlargement(e.rect, rect), e.rect.area),
+            )
+            best.rect = best.rect.union_mbr(rect)
+            node = best.child
+        return node
+
+    def _handle_overflow(self, node: _Node) -> None:
+        while len(node.entries) > self.max_entries:
+            sibling = self._quadratic_split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(is_leaf=False)
+                for child in (node, sibling):
+                    entry = _Entry(child.mbr(), child=child)
+                    child.parent = new_root
+                    new_root.entries.append(entry)
+                self._root = new_root
+                return
+            self._refresh_parent_rect(parent, node)
+            sibling.parent = parent
+            parent.entries.append(_Entry(sibling.mbr(), child=sibling))
+            node = parent
+
+    def _refresh_parent_rect(self, parent: _Node, child: _Node) -> None:
+        for entry in parent.entries:
+            if entry.child is child:
+                entry.rect = child.mbr()
+                return
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Split an overflowing node; ``node`` keeps one group, the
+        returned sibling gets the other."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = group_a[0].rect
+        rect_b = group_b[0].rect
+        remaining = [
+            e for i, e in enumerate(entries) if i not in (seed_a, seed_b)
+        ]
+        while remaining:
+            # Force-assign when one group must absorb the rest.
+            if len(group_a) + len(remaining) <= self.min_entries:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) <= self.min_entries:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            entry = max(
+                remaining,
+                key=lambda e: abs(
+                    _enlargement(rect_a, e.rect) - _enlargement(rect_b, e.rect)
+                ),
+            )
+            remaining.remove(entry)
+            grow_a = _enlargement(rect_a, entry.rect)
+            grow_b = _enlargement(rect_b, entry.rect)
+            if (grow_a, rect_a.area, len(group_a)) <= (
+                grow_b,
+                rect_b.area,
+                len(group_b),
+            ):
+                group_a.append(entry)
+                rect_a = rect_a.union_mbr(entry.rect)
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union_mbr(entry.rect)
+        node.entries = group_a
+        sibling = _Node(node.is_leaf)
+        sibling.entries = group_b
+        if not node.is_leaf:
+            for e in node.entries:
+                e.child.parent = node
+            for e in sibling.entries:
+                e.child.parent = sibling
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: list[_Entry]) -> tuple[int, int]:
+        worst = -1.0
+        pair = (0, 1)
+        for i, j in itertools.combinations(range(len(entries)), 2):
+            waste = (
+                entries[i].rect.union_mbr(entries[j].rect).area
+                - entries[i].rect.area
+                - entries[j].rect.area
+            )
+            if waste > worst:
+                worst = waste
+                pair = (i, j)
+        return pair
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def window_query(self, window: Rect) -> list[Any]:
+        """All items whose rectangle intersects the (closed) window."""
+        hits: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if not entry.rect.intersects(window):
+                    continue
+                if node.is_leaf:
+                    hits.append(entry.item)
+                else:
+                    stack.append(entry.child)
+        return hits
+
+    def nearest(self, query: Point, k: int = 1) -> list[QueryResultEntry]:
+        """Best-first kNN (Hjaltason & Samet distance browsing).
+
+        Returns at most ``k`` items (fewer if the tree is smaller),
+        ordered by ascending distance from ``query``; items must be
+        POIs or anything exposing ``location`` — distance is measured
+        to the entry rectangle, which for point data is the point.
+        """
+        if k <= 0:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Entry | _Node]] = [
+            (0.0, next(counter), self._root)
+        ]
+        results: list[QueryResultEntry] = []
+        while heap and len(results) < k:
+            dist, _, element = heapq.heappop(heap)
+            if isinstance(element, _Node):
+                for entry in element.entries:
+                    d = entry.rect.distance_to_point(query)
+                    target = entry if element.is_leaf else entry.child
+                    heapq.heappush(heap, (d, next(counter), target))
+            else:
+                results.append(QueryResultEntry(element.item, dist))
+        return results
+
+    def nearest_depth_first(self, query: Point, k: int = 1) -> list[QueryResultEntry]:
+        """Depth-first branch-and-bound kNN (Roussopoulos et al.).
+
+        Identical answers to :meth:`nearest`; kept as the classical
+        baseline whose node-access behaviour the benchmarks compare.
+        """
+        if k <= 0:
+            return []
+        best: list[tuple[float, int, Any]] = []  # max-heap via negation
+        tie = itertools.count()
+
+        def visit(node: _Node) -> None:
+            if node.is_leaf:
+                for entry in node.entries:
+                    d = entry.rect.distance_to_point(query)
+                    if len(best) < k:
+                        heapq.heappush(best, (-d, next(tie), entry.item))
+                    elif d < -best[0][0]:
+                        heapq.heapreplace(best, (-d, next(tie), entry.item))
+                return
+            branches = sorted(
+                node.entries, key=lambda e: e.rect.distance_to_point(query)
+            )
+            for entry in branches:
+                d = entry.rect.distance_to_point(query)
+                if len(best) == k and d > -best[0][0]:
+                    break  # pruned: farther than the current kth best
+                visit(entry.child)
+
+        visit(self._root)
+        ranked = sorted((-negd, item) for negd, _, item in best)
+        return [QueryResultEntry(item, d) for d, item in ranked]
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and benchmarks)
+    # ------------------------------------------------------------------
+    def iter_items(self) -> Iterator[Any]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if node.is_leaf:
+                    yield entry.item
+                else:
+                    stack.append(entry.child)
+
+    def count_node_accesses(
+        self, run: Callable[["CountingRTreeView"], Any]
+    ) -> tuple[Any, int]:
+        """Run a query against a counting view; returns (result, accesses)."""
+        view = CountingRTreeView(self)
+        result = run(view)
+        return result, view.node_accesses
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises ``GeometryError`` on
+        violation.  Exercised heavily by the tests."""
+
+        def walk(node: _Node, depth: int, leaf_depths: list[int]) -> None:
+            if node is not self._root and not (
+                self.min_entries <= len(node.entries) <= self.max_entries
+            ):
+                raise GeometryError(
+                    f"node with {len(node.entries)} entries violates"
+                    f" [{self.min_entries}, {self.max_entries}]"
+                )
+            if node.is_leaf:
+                leaf_depths.append(depth)
+                return
+            for entry in node.entries:
+                if not entry.rect.contains_rect(entry.child.mbr()):
+                    raise GeometryError("parent rect does not cover child MBR")
+                walk(entry.child, depth + 1, leaf_depths)
+
+        leaf_depths: list[int] = []
+        walk(self._root, 0, leaf_depths)
+        if len(set(leaf_depths)) > 1:
+            raise GeometryError(f"leaves at mixed depths: {set(leaf_depths)}")
+        if sum(1 for _ in self.iter_items()) != self._size:
+            raise GeometryError("item count mismatch")
+
+
+class CountingRTreeView:
+    """Wraps an R-tree and counts node accesses during traversals.
+
+    Used by the baseline benchmarks to compare best-first vs
+    depth-first I/O behaviour without touching the algorithms.
+    """
+
+    def __init__(self, tree: RTree):
+        self._tree = tree
+        self.node_accesses = 0
+
+    def nearest(self, query: Point, k: int = 1) -> list[QueryResultEntry]:
+        self.node_accesses += self._count_best_first(query, k)
+        return self._tree.nearest(query, k)
+
+    def _count_best_first(self, query: Point, k: int) -> int:
+        counter = itertools.count()
+        heap: list[tuple[float, int, Any]] = [(0.0, next(counter), self._tree._root)]
+        found = 0
+        accesses = 0
+        while heap and found < k:
+            _, _, element = heapq.heappop(heap)
+            if isinstance(element, _Node):
+                accesses += 1
+                for entry in element.entries:
+                    d = entry.rect.distance_to_point(query)
+                    target = entry if element.is_leaf else entry.child
+                    heapq.heappush(heap, (d, next(counter), target))
+            else:
+                found += 1
+        return accesses

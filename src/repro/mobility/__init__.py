@@ -1,0 +1,14 @@
+"""Mobility substrate: random waypoint (scalar and vectorised) and
+road-network-constrained trajectories."""
+
+from .fleet import WaypointFleet
+from .roadnet import GridRoadNetwork, RoadTrajectory
+from .waypoint import Leg, RandomWaypoint
+
+__all__ = [
+    "GridRoadNetwork",
+    "Leg",
+    "RandomWaypoint",
+    "RoadTrajectory",
+    "WaypointFleet",
+]

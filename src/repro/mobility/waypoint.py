@@ -1,0 +1,122 @@
+"""The random waypoint mobility model (Broch et al. [3]).
+
+A host picks a uniform destination in the service area, travels to it
+in a straight line at a uniformly drawn speed, pauses, and repeats.
+:class:`RandomWaypoint` is the scalar reference implementation with an
+analytic ``position_at`` (no per-tick stepping); the experiment
+harness uses the vectorised :class:`repro.mobility.fleet.WaypointFleet`
+built on the same leg structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MobilityError
+from ..geometry import Point, Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Leg:
+    """One straight-line trip: origin -> destination plus a pause."""
+
+    origin: Point
+    destination: Point
+    depart_time: float
+    arrive_time: float
+    next_depart_time: float
+
+    def position_at(self, t: float) -> Point:
+        if t <= self.depart_time:
+            return self.origin
+        if t >= self.arrive_time:
+            return self.destination
+        frac = (t - self.depart_time) / (self.arrive_time - self.depart_time)
+        return Point(
+            self.origin.x + frac * (self.destination.x - self.origin.x),
+            self.origin.y + frac * (self.destination.y - self.origin.y),
+        )
+
+    def heading_at(self, t: float) -> tuple[float, float]:
+        """Unit direction of travel, or ``(0, 0)`` while paused."""
+        if not (self.depart_time <= t < self.arrive_time):
+            return (0.0, 0.0)
+        dx = self.destination.x - self.origin.x
+        dy = self.destination.y - self.origin.y
+        norm = math.hypot(dx, dy)
+        if norm == 0.0:
+            return (0.0, 0.0)
+        return (dx / norm, dy / norm)
+
+
+class RandomWaypoint:
+    """A single host's random-waypoint trajectory.
+
+    Time may only move forward: ``position_at`` must be called with
+    non-decreasing ``t`` (the simulator's clock is monotonic).
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        rng: np.random.Generator,
+        speed_range: tuple[float, float] = (5.0, 15.0),
+        pause_range: tuple[float, float] = (0.0, 30.0),
+        start: Point | None = None,
+        start_time: float = 0.0,
+    ):
+        if bounds.is_degenerate():
+            raise MobilityError("mobility area must have positive area")
+        if not (0 < speed_range[0] <= speed_range[1]):
+            raise MobilityError(f"invalid speed range {speed_range}")
+        if not (0 <= pause_range[0] <= pause_range[1]):
+            raise MobilityError(f"invalid pause range {pause_range}")
+        self.bounds = bounds
+        self.rng = rng
+        self.speed_range = speed_range
+        self.pause_range = pause_range
+        origin = start if start is not None else self._random_point()
+        self._leg = self._new_leg(origin, start_time)
+        self._last_t = start_time
+
+    def _random_point(self) -> Point:
+        return Point(
+            float(self.rng.uniform(self.bounds.x1, self.bounds.x2)),
+            float(self.rng.uniform(self.bounds.y1, self.bounds.y2)),
+        )
+
+    def _new_leg(self, origin: Point, depart_time: float) -> Leg:
+        destination = self._random_point()
+        speed = float(self.rng.uniform(*self.speed_range))
+        travel = origin.distance_to(destination) / speed
+        arrive = depart_time + travel
+        pause = float(self.rng.uniform(*self.pause_range))
+        return Leg(origin, destination, depart_time, arrive, arrive + pause)
+
+    def _advance_to(self, t: float) -> None:
+        if t < self._last_t:
+            raise MobilityError(
+                f"time ran backwards: {t} < {self._last_t}"
+            )
+        self._last_t = t
+        while t >= self._leg.next_depart_time:
+            self._leg = self._new_leg(
+                self._leg.destination, self._leg.next_depart_time
+            )
+
+    def position_at(self, t: float) -> Point:
+        """Host position at time ``t`` (monotone ``t`` required)."""
+        self._advance_to(t)
+        return self._leg.position_at(t)
+
+    def heading_at(self, t: float) -> tuple[float, float]:
+        """Unit travel direction at ``t`` (``(0,0)`` while pausing)."""
+        self._advance_to(t)
+        return self._leg.heading_at(t)
+
+    @property
+    def current_leg(self) -> Leg:
+        return self._leg

@@ -1,0 +1,115 @@
+"""The on-demand (point-to-point) access model — the paper's foil.
+
+Section 1: "a user establishes a point-to-point communication with the
+server so that her queries can be answered on demand. However, this
+approach ... may not scale to very large systems", needs a fee-based
+cellular network, and reveals the user's location.
+
+This module implements that baseline so the scalability claim can be
+measured: a server with a bounded number of concurrent uplink channels
+(a :class:`repro.sim.Resource`), an R-tree-backed query engine whose
+service time is proportional to the nodes it touches, and a closed-form
+M/M/c waiting-time model for quick analysis.  The broadcast model's
+latency is load-independent; the on-demand model's latency explodes
+past saturation — reproduced by ``benchmarks/bench_ondemand_baseline``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..geometry import Point, Rect
+from ..index import RTree
+from ..model import POI, QueryResultEntry
+from ..sim import Environment, Resource
+
+
+@dataclass(frozen=True, slots=True)
+class OnDemandAnswer:
+    """One served request: the answer and its timings."""
+
+    results: tuple[QueryResultEntry, ...]
+    queued_for: float
+    service_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.queued_for + self.service_time
+
+
+class OnDemandServer:
+    """A central spatial server with ``channels`` concurrent uplinks.
+
+    ``per_node_service_time`` prices one R-tree node access (I/O +
+    transmission); a request holds an uplink for its whole service.
+    """
+
+    def __init__(
+        self,
+        pois,
+        channels: int = 4,
+        per_node_service_time: float = 0.01,
+        fixed_overhead: float = 0.05,
+    ):
+        if channels < 1:
+            raise ExperimentError("channels must be >= 1")
+        if per_node_service_time <= 0 or fixed_overhead < 0:
+            raise ExperimentError("invalid service-time parameters")
+        self.tree = RTree.from_pois(pois)
+        self.channels = channels
+        self.per_node_service_time = per_node_service_time
+        self.fixed_overhead = fixed_overhead
+        self.served = 0
+
+    def service_time_for_knn(self, query: Point, k: int) -> float:
+        """Deterministic service time from the counted node accesses."""
+        _, accesses = self.tree.count_node_accesses(
+            lambda view: view.nearest(query, k)
+        )
+        return self.fixed_overhead + accesses * self.per_node_service_time
+
+    def request_process(
+        self,
+        env: Environment,
+        uplinks: Resource,
+        query: Point,
+        k: int,
+        sink: list[OnDemandAnswer],
+    ):
+        """DES process for one client request (queue, serve, release)."""
+        arrived = env.now
+        yield uplinks.request()
+        queued_for = env.now - arrived
+        service = self.service_time_for_knn(query, k)
+        yield env.timeout(service)
+        uplinks.release()
+        self.served += 1
+        results = tuple(self.tree.nearest(query, k))
+        sink.append(
+            OnDemandAnswer(
+                results=results, queued_for=queued_for, service_time=service
+            )
+        )
+
+
+def mmc_wait_time(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean M/M/c waiting time (Erlang C), in the same time unit.
+
+    Returns ``inf`` when the system is unstable (ρ >= 1) — the
+    "does not scale" regime the paper warns about.
+    """
+    if arrival_rate < 0 or service_rate <= 0 or servers < 1:
+        raise ExperimentError("invalid M/M/c parameters")
+    if arrival_rate == 0:
+        return 0.0
+    a = arrival_rate / service_rate  # offered load (Erlangs)
+    rho = a / servers
+    if rho >= 1.0:
+        return math.inf
+    # Erlang C probability of waiting.
+    summation = sum(a**n / math.factorial(n) for n in range(servers))
+    top = a**servers / math.factorial(servers) * (1 / (1 - rho))
+    p_wait = top / (summation + top)
+    return p_wait / (servers * service_rate - arrival_rate)

@@ -1,0 +1,79 @@
+"""Single-hop ad-hoc peer discovery.
+
+The radio model is the paper's: two hosts can exchange data iff their
+Euclidean distance is at most the transmission range (the 10–200 m
+sweep of the experiments).  Host positions are owned by the mobility
+fleet; this class wraps a uniform grid over them and answers
+"who can q reach right now" plus simple traffic accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..geometry import Point, Rect
+from ..index import UniformGrid
+
+
+class PeerNetwork:
+    """Range-disc connectivity over a population of hosts."""
+
+    def __init__(self, bounds: Rect, tx_range: float):
+        if tx_range <= 0:
+            raise ProtocolError(f"tx_range must be positive, got {tx_range}")
+        self.bounds = bounds
+        self.tx_range = tx_range
+        self._grid = UniformGrid(bounds, cell_size=tx_range)
+        self.requests_sent = 0
+        self.responses_received = 0
+
+    def update_positions(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Refresh the connectivity snapshot from the mobility fleet."""
+        self._grid.rebuild(xs, ys)
+
+    def peers_of(self, host_id: int, position: Point) -> np.ndarray:
+        """Host ids within range of ``position``, excluding the asker."""
+        if self._grid.size == 0:
+            raise ProtocolError("network queried before update_positions()")
+        neighbours = self._grid.query_disc(position, self.tx_range)
+        neighbours = neighbours[neighbours != host_id]
+        self.requests_sent += 1
+        self.responses_received += int(neighbours.size)
+        return neighbours
+
+    def peers_within_hops(
+        self, host_id: int, position: Point, hops: int
+    ) -> np.ndarray:
+        """Hosts reachable through at most ``hops`` relays.
+
+        The paper's system is single-hop (``hops=1``); the multi-hop
+        variant is its stated future-work direction — each additional
+        hop floods the share request one radio range further.
+        """
+        if hops < 1:
+            raise ProtocolError(f"hops must be >= 1, got {hops}")
+        first = self.peers_of(host_id, position)
+        if hops == 1:
+            return first
+        xs, ys = self._grid._xs, self._grid._ys
+        visited: set[int] = {host_id, *(int(i) for i in first)}
+        frontier = [int(i) for i in first]
+        for _ in range(hops - 1):
+            next_frontier: list[int] = []
+            for node in frontier:
+                node_pos = Point(float(xs[node]), float(ys[node]))
+                for neighbour in self._grid.query_disc(node_pos, self.tx_range):
+                    neighbour = int(neighbour)
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        next_frontier.append(neighbour)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        visited.discard(host_id)
+        return np.array(sorted(visited), dtype=np.int64)
+
+    @property
+    def host_count(self) -> int:
+        return self._grid.size

@@ -1,0 +1,40 @@
+"""Peer-to-peer sharing protocol messages.
+
+A query host broadcasts a :class:`ShareRequest` to its single-hop
+neighbours; each replies with a :class:`ShareResponse` carrying its
+verified-region MBRs and cached POIs (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from ..geometry import Rect
+from ..model import DEFAULT_CATEGORY, POI
+
+
+@dataclass(frozen=True, slots=True)
+class ShareRequest:
+    """A request for cached spatial data of one POI category."""
+
+    requester_id: int
+    category: str = DEFAULT_CATEGORY
+    issued_at: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ShareResponse:
+    """One peer's contribution: its VR rectangles and cached POIs."""
+
+    peer_id: int
+    regions: tuple[Rect, ...]
+    pois: tuple[POI, ...]
+
+    def __post_init__(self) -> None:
+        if any(r.is_degenerate() for r in self.regions):
+            raise ProtocolError("degenerate verified region in response")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.regions and not self.pois

@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel (generator-based, simpy-style)."""
+
+from .core import Environment, Event, Interrupt, Process, Timeout
+from .events import AllOf, AnyOf
+from .resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

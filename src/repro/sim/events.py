@@ -1,0 +1,67 @@
+"""Composite events: wait for all or any of a set of events."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: observes child events and fires once its
+    predicate over the finished children holds."""
+
+    def __init__(self, env: Environment, events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for child in self._events:
+            if child.env is not env:
+                raise SimulationError("condition mixes events of two environments")
+        self._finished: dict[Event, object] = {}
+        if not self._events:
+            self.succeed({})
+            return
+        for child in self._events:
+            if child.processed:
+                self._observe(child)
+            else:
+                child.callbacks.append(self._observe)
+
+    def _observe(self, child: Event) -> None:
+        if self.triggered:
+            if not child._ok:
+                child._defused = True
+            return
+        if not child._ok:
+            child._defused = True
+            self.fail(child._value)
+            return
+        self._finished[child] = child._value
+        if self._satisfied():
+            self.succeed(
+                {e: e._value for e in self._events if e in self._finished}
+            )
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired.
+
+    Its value maps each child event to that child's value.
+    """
+
+    def _satisfied(self) -> bool:
+        return len(self._finished) == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one child event fires.
+
+    Its value maps the already-finished child events to their values.
+    """
+
+    def _satisfied(self) -> bool:
+        return len(self._finished) >= 1

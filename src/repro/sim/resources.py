@@ -1,0 +1,96 @@
+"""Shared resources for the simulation kernel.
+
+:class:`Resource` models a fixed number of slots with a FIFO wait
+queue (e.g. a point-to-point uplink with limited concurrent
+connections in the on-demand baseline).  :class:`Store` is an
+unbounded-by-default FIFO buffer of items (e.g. a packet queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+
+class Resource:
+    """``capacity`` interchangeable slots with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """An event that fires once a slot is granted to the caller."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot; the longest waiter (if any) is granted next."""
+        if self._in_use == 0:
+            raise SimulationError("release() without a held slot")
+        if self._waiting:
+            self._waiting.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO item buffer; ``get`` blocks until an item is available."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """An event that fires once the item is stored."""
+        event = Event(self.env)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """An event whose value is the next item, in FIFO order."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            if self._putters:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed()
+        else:
+            self._getters.append(event)
+        return event

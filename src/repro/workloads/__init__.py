@@ -1,0 +1,29 @@
+"""Workloads: Table 3/4 parameter sets, POI fields, query streams."""
+
+from .params import (
+    ALL_REGIONS,
+    LA_CITY,
+    METERS_PER_MILE,
+    RIVERSIDE_COUNTY,
+    SYNTHETIC_SUBURBIA,
+    ParameterSet,
+    scaled_parameters,
+)
+from .poi import clustered_pois, generate_pois, poisson_poi_field
+from .queries import QueryEvent, QueryKind, QueryWorkload
+
+__all__ = [
+    "ALL_REGIONS",
+    "LA_CITY",
+    "METERS_PER_MILE",
+    "ParameterSet",
+    "QueryEvent",
+    "QueryKind",
+    "QueryWorkload",
+    "RIVERSIDE_COUNTY",
+    "SYNTHETIC_SUBURBIA",
+    "clustered_pois",
+    "generate_pois",
+    "poisson_poi_field",
+    "scaled_parameters",
+]

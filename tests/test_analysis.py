@@ -1,0 +1,172 @@
+"""Tests for the Poisson helpers and the hit-ratio model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    HitRatioInputs,
+    expected_peers,
+    knn_distance_mean,
+    knn_distance_quantile,
+    knn_hit_ratio,
+    knn_hit_ratio_for,
+    model_inputs,
+    poisson_pmf,
+    prob_at_least,
+    prob_empty_region,
+    simulate_knn_hit_ratio,
+    single_peer_coverage,
+    window_hit_ratio,
+)
+from repro.errors import ExperimentError
+from repro.workloads import LA_CITY, RIVERSIDE_COUNTY, SYNTHETIC_SUBURBIA
+
+
+class TestPoissonHelpers:
+    def test_pmf_sums_to_one(self):
+        assert sum(poisson_pmf(n, 3.7) for n in range(60)) == pytest.approx(1.0)
+
+    def test_pmf_zero_mean(self):
+        assert poisson_pmf(0, 0) == 1.0
+        assert poisson_pmf(3, 0) == 0.0
+
+    def test_pmf_validation(self):
+        with pytest.raises(ExperimentError):
+            poisson_pmf(-1, 1.0)
+        with pytest.raises(ExperimentError):
+            poisson_pmf(1, -1.0)
+
+    def test_prob_empty_region_is_lemma_32_kernel(self):
+        # The paper's worked example: λ = 0.3, u = 2 → 0.5488.
+        assert prob_empty_region(0.3, 2.0) == pytest.approx(0.5488, abs=1e-4)
+
+    def test_prob_at_least(self):
+        assert prob_at_least(0, 5.0) == 1.0
+        assert prob_at_least(1, 5.0) == pytest.approx(1 - math.exp(-5))
+
+    def test_expected_peers_la(self):
+        peers = expected_peers(LA_CITY.mh_density, LA_CITY.tx_range_mi)
+        assert peers == pytest.approx(LA_CITY.expected_peers)
+
+    def test_knn_distance_mean_first_neighbour(self):
+        # E[r_1] = 1 / (2 sqrt(λ)) for a planar Poisson process.
+        density = 4.0
+        assert knn_distance_mean(1, density) == pytest.approx(
+            1 / (2 * math.sqrt(density))
+        )
+
+    def test_knn_distance_mean_monotone_in_k(self):
+        values = [knn_distance_mean(k, 2.0) for k in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_knn_distance_mean_matches_simulation(self):
+        rng = np.random.default_rng(0)
+        density, k = 5.0, 3
+        samples = []
+        for _ in range(400):
+            n = rng.poisson(density * 400)
+            pts = rng.uniform(-10, 10, (n, 2))
+            d = np.sort(np.hypot(pts[:, 0], pts[:, 1]))
+            samples.append(d[k - 1])
+        assert np.mean(samples) == pytest.approx(
+            knn_distance_mean(k, density), rel=0.05
+        )
+
+    def test_quantile_brackets_mean(self):
+        density, k = 3.0, 4
+        low = knn_distance_quantile(k, density, 0.1)
+        high = knn_distance_quantile(k, density, 0.9)
+        mean = knn_distance_mean(k, density)
+        assert low < mean < high
+
+    def test_quantile_validation(self):
+        with pytest.raises(ExperimentError):
+            knn_distance_quantile(1, 1.0, 0.0)
+        with pytest.raises(ExperimentError):
+            knn_distance_mean(0, 1.0)
+        with pytest.raises(ExperimentError):
+            knn_distance_mean(1, 0.0)
+
+
+class TestHitRatioModel:
+    def test_single_peer_coverage_zero_when_vr_too_small(self):
+        inputs = HitRatioInputs(
+            expected_peer_count=10, knn_radius=1.0, vr_side=1.5, drift=0.1
+        )
+        assert single_peer_coverage(inputs) == 0.0
+
+    def test_single_peer_coverage_bounds(self):
+        inputs = HitRatioInputs(
+            expected_peer_count=10, knn_radius=0.2, vr_side=3.0, drift=0.5
+        )
+        assert 0.0 < single_peer_coverage(inputs) <= 1.0
+
+    def test_hit_ratio_monotone_in_peers(self):
+        base = dict(knn_radius=0.3, vr_side=2.0, drift=0.5)
+        low = knn_hit_ratio(HitRatioInputs(expected_peer_count=1, **base))
+        high = knn_hit_ratio(HitRatioInputs(expected_peer_count=10, **base))
+        assert high > low
+
+    def test_model_region_ordering_matches_paper(self):
+        # LA (dense) must beat Suburbia, which must beat Riverside.
+        la = knn_hit_ratio_for(LA_CITY)
+        sub = knn_hit_ratio_for(SYNTHETIC_SUBURBIA)
+        riv = knn_hit_ratio_for(RIVERSIDE_COUNTY)
+        assert la > sub > riv
+
+    def test_model_monotone_in_tx_range(self):
+        ratios = [
+            knn_hit_ratio_for(LA_CITY.replace(tx_range_m=tx))
+            for tx in (10, 50, 100, 200)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_model_monotone_in_cache(self):
+        ratios = [
+            knn_hit_ratio_for(LA_CITY, cache_size=c, pois_per_result=100)
+            for c in (6, 12, 18, 24, 30)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_model_decreasing_in_k(self):
+        ratios = [knn_hit_ratio_for(LA_CITY, k=k) for k in (3, 6, 9, 12, 15)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_window_hit_ratio_decreasing_in_size(self):
+        ratios = [
+            window_hit_ratio(LA_CITY, window_area=a) for a in (0.04, 0.36, 1.0)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_window_validation(self):
+        with pytest.raises(ExperimentError):
+            window_hit_ratio(LA_CITY, window_area=0)
+
+    def test_monte_carlo_consistent_with_model(self):
+        # The MC allows multi-peer unions, so it must not be *below*
+        # the single-peer closed form by more than noise.
+        inputs = HitRatioInputs(
+            expected_peer_count=6, knn_radius=0.3, vr_side=1.6, drift=0.4
+        )
+        model = knn_hit_ratio(inputs)
+        mc = simulate_knn_hit_ratio(
+            inputs, np.random.default_rng(0), trials=1500
+        )
+        assert mc >= model - 0.08
+
+    def test_monte_carlo_validation(self):
+        inputs = HitRatioInputs(1, 0.1, 1, 0.1)
+        with pytest.raises(ExperimentError):
+            simulate_knn_hit_ratio(inputs, np.random.default_rng(0), trials=0)
+
+    def test_model_inputs_derivation(self):
+        inputs = model_inputs(LA_CITY)
+        assert inputs.expected_peer_count == pytest.approx(
+            LA_CITY.expected_peers
+        )
+        assert inputs.knn_radius == pytest.approx(
+            knn_distance_mean(LA_CITY.knn_k, LA_CITY.poi_density)
+        )
+        assert inputs.vr_side > 0

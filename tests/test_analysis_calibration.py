@@ -1,0 +1,70 @@
+"""Tests for the Lemma 3.2 calibration measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import correctness_calibration
+from repro.errors import ExperimentError
+from repro.geometry import Rect
+from repro.workloads import clustered_pois, generate_pois
+
+BOUNDS = Rect(0, 0, 20, 20)
+
+
+class TestCalibration:
+    def run_uniform(self, seed=0, trials=250):
+        rng = np.random.default_rng(seed)
+        pois = generate_pois(BOUNDS, 400, rng)
+        return correctness_calibration(
+            pois, BOUNDS, np.random.default_rng(seed + 1), trials=trials
+        )
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        pois = generate_pois(BOUNDS, 10, rng)
+        with pytest.raises(ExperimentError):
+            correctness_calibration(pois, BOUNDS, rng, trials=0)
+        with pytest.raises(ExperimentError):
+            correctness_calibration([], BOUNDS, rng)
+
+    def test_result_structure(self):
+        result = self.run_uniform()
+        assert result.sample_count > 50
+        assert len(result.bins) == 5
+        assert sum(b.count for b in result.bins) == result.sample_count
+        assert 0.0 <= result.brier_score <= 1.0
+
+    def test_poisson_field_is_reasonably_calibrated(self):
+        # On the field Lemma 3.2 assumes, predictions should track
+        # reality: Brier clearly better than chance and no populated
+        # bin wildly off.
+        result = self.run_uniform(seed=3, trials=400)
+        assert result.brier_score < 0.25
+        assert result.max_calibration_gap < 0.45
+
+    def test_predictions_are_informative(self):
+        # High-probability predictions must come true more often than
+        # low-probability ones (monotone informativeness).
+        result = self.run_uniform(seed=5, trials=400)
+        populated = [b for b in result.bins if b.count >= 15]
+        if len(populated) >= 2:
+            assert populated[-1].empirical_rate >= populated[0].empirical_rate
+
+    def test_clustered_field_degrades_calibration(self):
+        rng = np.random.default_rng(7)
+        uniform_pois = generate_pois(BOUNDS, 400, rng)
+        clustered = clustered_pois(
+            BOUNDS, 400, rng, cluster_count=6, cluster_sigma=0.7
+        )
+        uniform_result = correctness_calibration(
+            uniform_pois, BOUNDS, np.random.default_rng(8), trials=300
+        )
+        clustered_result = correctness_calibration(
+            clustered, BOUNDS, np.random.default_rng(8), trials=300
+        )
+        # The Poisson model should fit its own assumption at least as
+        # well as it fits clustered data (allowing sampling noise).
+        assert (
+            uniform_result.brier_score
+            <= clustered_result.brier_score + 0.05
+        )

@@ -1,0 +1,82 @@
+"""Quality of approximate SBNN answers (Section 3.3.2).
+
+The paper argues a prompt approximate answer serves a motorist better
+than a slow exact one — *provided* the approximation is good.  These
+tests quantify that on a live simulation: approximate answers must
+overlap heavily with the true kNN, their annotated correctness
+probabilities must be honest on average, and unverified distances must
+never undercut verified ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Resolution
+from repro.experiments import Simulation, scaled_parameters
+from repro.index import brute_force_knn
+from repro.workloads import LA_CITY, QueryKind
+
+
+@pytest.fixture(scope="module")
+def warm_sim():
+    params = scaled_parameters(LA_CITY, area_scale=0.03)
+    sim = Simulation(params, seed=33)
+    sim.run_workload(QueryKind.KNN, 0, 1500)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def approximate_outcomes(warm_sim):
+    sim = warm_sim
+    outcomes = []
+    for _ in range(300):
+        result = sim.run_knn_query(k=5)
+        if result.record.resolution is Resolution.APPROXIMATE:
+            truth = brute_force_knn(
+                sim.pois, sim.host_position(result.record.host_id), 5
+            )
+            outcomes.append((result, truth))
+    return outcomes
+
+
+class TestApproximateQuality:
+    def test_recall_is_high(self, approximate_outcomes):
+        outcomes = approximate_outcomes
+        assert outcomes, "no approximate answers sampled"
+        recalls = []
+        for result, truth in outcomes:
+            got = {p.poi_id for p in result.answers}
+            want = {e.poi.poi_id for e in truth}
+            recalls.append(len(got & want) / len(want))
+        assert np.mean(recalls) > 0.8
+
+    def test_distance_error_is_bounded(self, approximate_outcomes):
+        outcomes = approximate_outcomes
+        assert outcomes
+        ratios = []
+        for result, truth in outcomes:
+            got_worst = result.heap_entries[-1].distance
+            true_worst = truth[-1].distance
+            if true_worst > 0:
+                ratios.append(got_worst / true_worst)
+        # Approximate answers can over-shoot the true k-th distance,
+        # but not wildly: the candidates are real nearby POIs.
+        assert np.mean(ratios) < 1.5
+
+    def test_unverified_entries_carry_annotations(self, warm_sim, approximate_outcomes):
+        outcomes = approximate_outcomes
+        assert outcomes
+        for result, _ in outcomes:
+            for entry in result.heap_entries:
+                if not entry.verified:
+                    assert entry.correctness is not None
+                    assert entry.correctness >= warm_sim.min_correctness
+
+    def test_heap_entries_sorted_with_verified_prefix(self, approximate_outcomes):
+        outcomes = approximate_outcomes
+        assert outcomes
+        for result, _ in outcomes:
+            distances = [e.distance for e in result.heap_entries]
+            assert distances == sorted(distances)
+            flags = [e.verified for e in result.heap_entries]
+            assert flags == sorted(flags, reverse=True)

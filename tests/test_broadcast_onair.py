@@ -1,0 +1,246 @@
+"""End-to-end tests for the on-air kNN and window algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast import (
+    OnAirClient,
+    estimate_search_radius,
+    plan_knn,
+    plan_window,
+)
+from repro.errors import BroadcastError
+from repro.geometry import Point, Rect
+from repro.index import brute_force_knn, brute_force_window
+from repro.model import POI
+
+BOUNDS = Rect(0, 0, 20, 20)
+
+
+def make_world(n=150, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    pois = [
+        POI(i, Point(float(x), float(y)))
+        for i, (x, y) in enumerate(rng.uniform(0, 20, (n, 2)))
+    ]
+    defaults = dict(hilbert_order=5, bucket_capacity=8, m=4, packet_time=0.1)
+    defaults.update(kwargs)
+    client = OnAirClient.build(pois, BOUNDS, **defaults)
+    return client, pois
+
+
+class TestSearchRadius:
+    def test_radius_is_sound(self):
+        client, pois = make_world(100, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            q = Point(*rng.uniform(0, 20, 2))
+            for k in (1, 3, 10):
+                radius = estimate_search_radius(client.server, q, k)
+                true_kth = brute_force_knn(pois, q, k)[-1].distance
+                assert radius >= true_kth
+
+    def test_invalid_k_raises(self):
+        client, _ = make_world(10)
+        with pytest.raises(BroadcastError):
+            estimate_search_radius(client.server, Point(0, 0), 0)
+
+
+class TestOnAirKnn:
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_exact_answers(self, k):
+        client, pois = make_world(200, seed=3)
+        rng = np.random.default_rng(4)
+        for _ in range(15):
+            q = Point(*rng.uniform(1, 19, 2))
+            result = client.knn(q, k, t_query=float(rng.uniform(0, 100)))
+            expected = brute_force_knn(pois, q, k)
+            assert [e.poi.poi_id for e in result.results] == [
+                e.poi.poi_id for e in expected
+            ]
+
+    def test_k_exceeding_database(self):
+        client, pois = make_world(5, seed=5)
+        result = client.knn(Point(10, 10), 50)
+        assert len(result.results) == 5
+
+    def test_upper_bound_shrinks_plan(self):
+        client, pois = make_world(300, seed=6)
+        q = Point(10, 10)
+        k = 3
+        true_kth = brute_force_knn(pois, q, k)[-1].distance
+        free = client.knn(q, k)
+        bounded = client.knn(q, k, upper_bound=true_kth * 1.01)
+        assert [e.poi.poi_id for e in bounded.results] == [
+            e.poi.poi_id for e in free.results
+        ]
+        assert len(bounded.plan.bucket_ids) <= len(free.plan.bucket_ids)
+        assert bounded.plan.index_read_packets <= free.plan.index_read_packets
+
+    def test_lower_bound_skips_buckets_and_stays_exact(self):
+        client, pois = make_world(400, seed=7, bucket_capacity=4, hilbert_order=6)
+        q = Point(10, 10)
+        k = 10
+        expected = brute_force_knn(pois, q, k)
+        # Pretend everything within the 5th NN distance is verified.
+        lower = expected[4].distance
+        known = tuple(
+            p for p in pois if p.distance_to(q) <= lower
+        )
+        filtered = client.knn(q, k, lower_bound=lower, known_pois=known)
+        assert [e.poi.poi_id for e in filtered.results] == [
+            e.poi.poi_id for e in expected
+        ]
+        unfiltered = client.knn(q, k)
+        assert len(filtered.plan.bucket_ids) <= len(unfiltered.plan.bucket_ids)
+
+    def test_lower_bound_actually_skips_something_when_dense(self):
+        client, pois = make_world(
+            800, seed=8, bucket_capacity=2, hilbert_order=6
+        )
+        q = Point(10, 10)
+        expected = brute_force_knn(pois, q, 30)
+        lower = expected[19].distance
+        known = tuple(p for p in pois if p.distance_to(q) <= lower)
+        filtered = client.knn(q, 30, lower_bound=lower, known_pois=known)
+        assert filtered.plan.skipped_buckets  # the optimisation engaged
+        assert [e.poi.poi_id for e in filtered.results] == [
+            e.poi.poi_id for e in expected
+        ]
+
+    def test_covered_region_is_sound_for_caching(self):
+        # Every POI inside the covered rect must be in the download.
+        client, pois = make_world(250, seed=9)
+        q = Point(7, 13)
+        result = client.knn(q, 5)
+        downloaded = {p.poi_id for p in result.downloaded}
+        for poi in pois:
+            if result.covered.contains_point(poi.location):
+                assert poi.poi_id in downloaded
+
+    def test_cost_accounting(self):
+        client, _ = make_world(100, seed=10)
+        result = client.knn(Point(5, 5), 3, t_query=12.34)
+        cost = result.cost
+        assert cost.access_latency > 0
+        assert cost.finish_time == pytest.approx(12.34 + cost.access_latency)
+        assert (
+            cost.tuning_packets
+            == 1 + result.plan.index_read_packets + len(result.plan.bucket_ids)
+        )
+
+    def test_invalid_bounds_raise(self):
+        client, _ = make_world(20)
+        with pytest.raises(BroadcastError):
+            client.knn(Point(1, 1), 1, upper_bound=0)
+        with pytest.raises(BroadcastError):
+            client.knn(Point(1, 1), 1, lower_bound=-1)
+
+
+class TestOnAirWindow:
+    def test_exact_answers(self):
+        client, pois = make_world(200, seed=11)
+        rng = np.random.default_rng(12)
+        for _ in range(15):
+            x1, y1 = rng.uniform(0, 15, 2)
+            w = Rect(x1, y1, x1 + rng.uniform(1, 5), y1 + rng.uniform(1, 5))
+            result = client.window([w], t_query=float(rng.uniform(0, 50)))
+            expected = brute_force_window(pois, w)
+            assert [p.poi_id for p in result.pois] == [
+                p.poi_id for p in expected
+            ]
+
+    def test_empty_window_list_raises(self):
+        client, _ = make_world(20)
+        with pytest.raises(BroadcastError):
+            client.window([])
+
+    def test_window_outside_bounds_is_empty(self):
+        client, _ = make_world(50, seed=13)
+        result = client.window([Rect(100, 100, 110, 110)])
+        assert result.pois == ()
+        assert result.bucket_ids == ()
+
+    def test_reduced_windows_cost_less(self):
+        client, pois = make_world(500, seed=14, bucket_capacity=4)
+        w = Rect(2, 2, 14, 14)
+        fragment = Rect(2, 2, 4, 4)
+        full = client.window([w], t_query=0.0)
+        reduced = client.window([fragment], t_query=0.0)
+        assert len(reduced.bucket_ids) < len(full.bucket_ids)
+        assert reduced.cost.tuning_packets < full.cost.tuning_packets
+
+    def test_multiple_fragments_union(self):
+        client, pois = make_world(300, seed=15)
+        w1 = Rect(1, 1, 4, 4)
+        w2 = Rect(10, 10, 14, 14)
+        result = client.window([w1, w2])
+        expected = {
+            p.poi_id
+            for p in pois
+            if w1.contains_point(p.location) or w2.contains_point(p.location)
+        }
+        assert {p.poi_id for p in result.pois} == expected
+
+    def test_window_plan_covers_all_window_pois(self):
+        client, pois = make_world(250, seed=16)
+        w = Rect(3, 8, 9, 12)
+        buckets, blocks = plan_window(client.server, [w])
+        downloaded = {
+            p.poi_id
+            for b in buckets
+            for p in client.server.pois_in_bucket(b)
+        }
+        for poi in brute_force_window(pois, w):
+            assert poi.poi_id in downloaded
+
+    def test_window_plan_is_a_contiguous_segment(self):
+        # Figure 8: the client listens to the whole broadcast run
+        # between the window's first and last Hilbert point.
+        client, _ = make_world(250, seed=17)
+        buckets, _ = plan_window(client.server, [Rect(3, 8, 9, 12)])
+        assert list(buckets) == list(range(buckets[0], buckets[-1] + 1))
+
+    def test_window_bonus_regions_are_fully_downloaded(self):
+        client, pois = make_world(400, seed=18, bucket_capacity=4)
+        result = client.window([Rect(2, 2, 8, 8)])
+        downloaded = {p.poi_id for p in result.downloaded}
+        for region in result.bonus_regions:
+            for poi in pois:
+                if region.contains_point(poi.location):
+                    assert poi.poi_id in downloaded
+
+
+class TestOnAirProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 8),
+        st.floats(1, 19),
+        st.floats(1, 19),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_knn_always_exact(self, seed, k, qx, qy):
+        client, pois = make_world(80, seed=seed)
+        q = Point(qx, qy)
+        result = client.knn(q, k)
+        expected = brute_force_knn(pois, q, k)
+        assert [e.distance for e in result.results] == pytest.approx(
+            [e.distance for e in expected]
+        )
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0, 15),
+        st.floats(0, 15),
+        st.floats(0.5, 5),
+        st.floats(0.5, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_always_exact(self, seed, x1, y1, w, h):
+        client, pois = make_world(80, seed=seed)
+        window = Rect(x1, y1, x1 + w, y1 + h)
+        result = client.window([window])
+        expected = brute_force_window(pois, window)
+        assert [p.poi_id for p in result.pois] == [p.poi_id for p in expected]

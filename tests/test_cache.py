@@ -1,0 +1,211 @@
+"""Tests for the cooperative cache and its soundness invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    DirectionDistancePolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    POICache,
+    shrink_rect_to_exclude,
+)
+from repro.cache.entry import CacheItem
+from repro.errors import CacheError
+from repro.geometry import Point, Rect
+from repro.model import POI
+
+
+def poi_grid(nx=10, ny=10, spacing=1.0):
+    return [
+        POI(j * nx + i, Point(i * spacing, j * spacing))
+        for i in range(nx)
+        for j in range(ny)
+    ]
+
+
+class TestShrinkRect:
+    def test_point_outside_returns_rect(self):
+        r = Rect(0, 0, 4, 4)
+        assert shrink_rect_to_exclude(r, Point(10, 10)) == r
+
+    def test_interior_point_excluded(self):
+        r = Rect(0, 0, 4, 4)
+        shrunk = shrink_rect_to_exclude(r, Point(1, 2))
+        assert shrunk is not None
+        assert not shrunk.contains_point(Point(1, 2))
+        assert r.contains_rect(shrunk)
+
+    def test_largest_remainder_chosen(self):
+        r = Rect(0, 0, 10, 10)
+        shrunk = shrink_rect_to_exclude(r, Point(1, 5))
+        # Cutting off the left sliver keeps the most area.
+        assert shrunk.area > 0.8 * r.area
+        assert shrunk.x1 > 1
+
+    def test_corner_point(self):
+        r = Rect(0, 0, 4, 4)
+        shrunk = shrink_rect_to_exclude(r, Point(0, 0))
+        assert shrunk is not None
+        assert not shrunk.contains_point(Point(0, 0))
+
+    def test_degenerate_result_is_none(self):
+        r = Rect(0, 0, 1e-12, 1e-12)
+        assert shrink_rect_to_exclude(r, Point(0, 0)) is None
+
+
+class TestPOICacheBasics:
+    def test_validation(self):
+        with pytest.raises(CacheError):
+            POICache(capacity=0)
+        with pytest.raises(CacheError):
+            POICache(capacity=5, max_regions=0)
+
+    def test_insert_and_contains(self):
+        cache = POICache(capacity=10)
+        pois = poi_grid(3, 3)
+        cache.insert_result(Rect(0, 0, 2, 2), pois, 0.0, Point(1, 1))
+        assert len(cache) == 9
+        assert pois[0].poi_id in cache
+        assert 999 not in cache
+
+    def test_duplicate_insert_keeps_one_copy(self):
+        cache = POICache(capacity=10)
+        poi = POI(1, Point(0, 0))
+        cache.insert_result(Rect(0, 0, 1, 1), [poi], 0.0, Point(0, 0))
+        cache.insert_result(Rect(0, 0, 1, 1), [poi], 1.0, Point(0, 0))
+        assert len(cache) == 1
+
+    def test_share_returns_regions_and_pois(self):
+        cache = POICache(capacity=10)
+        pois = poi_grid(2, 2)
+        region = Rect(0, 0, 1, 1)
+        cache.insert_result(region, pois, 0.0, Point(0, 0))
+        regions, shared = cache.share(now=5.0)
+        assert regions == [region]
+        assert {p.poi_id for p in shared} == {p.poi_id for p in pois}
+
+    def test_degenerate_region_pois_still_cached(self):
+        cache = POICache(capacity=10)
+        poi = POI(0, Point(1, 1))
+        cache.insert_result(Rect(1, 1, 1, 1), [poi], 0.0, Point(0, 0))
+        assert len(cache) == 1
+        assert cache.region_rects == []
+
+    def test_pois_in(self):
+        cache = POICache(capacity=100)
+        cache.insert_result(Rect(0, 0, 9, 9), poi_grid(5, 5), 0.0, Point(0, 0))
+        hits = cache.pois_in(Rect(0, 0, 1, 1))
+        assert len(hits) == 4  # the 2x2 corner of the 5x5 grid
+
+    def test_region_coalescing(self):
+        cache = POICache(capacity=100)
+        cache.insert_result(Rect(0, 0, 10, 10), poi_grid(4, 4), 0.0, Point(0, 0))
+        cache.insert_result(Rect(2, 2, 5, 5), [], 1.0, Point(0, 0))
+        # The contained region is absorbed.
+        assert cache.region_rects == [Rect(0, 0, 10, 10)]
+
+    def test_max_regions_enforced_by_dropping_farthest(self):
+        cache = POICache(capacity=100, max_regions=2)
+        host = Point(0, 0)
+        cache.insert_result(Rect(0, 0, 1, 1), [], 0.0, host)
+        cache.insert_result(Rect(5, 5, 6, 6), [], 1.0, host)
+        cache.insert_result(Rect(50, 50, 51, 51), [], 2.0, host)
+        rects = cache.region_rects
+        assert len(rects) == 2
+        assert Rect(50, 50, 51, 51) not in rects
+
+
+class TestEvictionSoundness:
+    def test_capacity_enforced(self):
+        cache = POICache(capacity=5)
+        cache.insert_result(Rect(0, 0, 9, 9), poi_grid(4, 4), 0.0, Point(0, 0))
+        assert len(cache) == 5
+
+    def test_regions_shrink_on_eviction(self):
+        pois = poi_grid(10, 10)
+        cache = POICache(capacity=30)
+        cache.insert_result(Rect(0, 0, 9, 9), pois, 0.0, Point(0, 0))
+        cache.check_soundness(pois)
+        # Regions must have shrunk: with only 30 of 100 POIs cached,
+        # covering the whole 9x9 square would be unsound.
+        assert all(r.area < 81 for r in cache.region_rects)
+
+    def test_soundness_violation_detected(self):
+        cache = POICache(capacity=10)
+        pois = poi_grid(3, 3)
+        cache.insert_result(Rect(0, 0, 2, 2), pois, 0.0, Point(0, 0))
+        stranger = POI(777, Point(1.5, 1.5))
+        with pytest.raises(CacheError):
+            cache.check_soundness(pois + [stranger])
+
+    @given(
+        st.integers(1, 40),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_soundness_invariant_under_pressure(self, capacity, seed):
+        rng = np.random.default_rng(seed)
+        pois = [
+            POI(i, Point(float(x), float(y)))
+            for i, (x, y) in enumerate(rng.uniform(0, 20, (60, 2)))
+        ]
+        cache = POICache(capacity=capacity)
+        for round_ in range(4):
+            x1, y1 = rng.uniform(0, 12, 2)
+            region = Rect(x1, y1, x1 + 8, y1 + 8)
+            inside = [p for p in pois if region.contains_point(p.location)]
+            host = Point(*rng.uniform(0, 20, 2))
+            heading = (1.0, 0.0)
+            cache.insert_result(region, inside, float(round_), host, heading)
+            cache.check_soundness(pois)
+            assert len(cache) <= capacity
+
+
+class TestPolicies:
+    def make_items(self):
+        host = Point(0, 0)
+        items = [
+            CacheItem(POI(0, Point(10, 0)), inserted_at=0, last_used=9),  # ahead far
+            CacheItem(POI(1, Point(-10, 0)), inserted_at=1, last_used=1),  # behind far
+            CacheItem(POI(2, Point(1, 0)), inserted_at=2, last_used=5),  # ahead near
+            CacheItem(POI(3, Point(-1, 0)), inserted_at=3, last_used=7),  # behind near
+        ]
+        return host, items
+
+    def test_direction_distance_prefers_behind_and_far(self):
+        host, items = self.make_items()
+        policy = DirectionDistancePolicy(behind_penalty=1.0)
+        ranked = policy.rank_victims(items, host, (1.0, 0.0))
+        # Behind-far (id 1) scores 20, ahead-far (id 0) scores 10,
+        # behind-near (id 3) scores 2, ahead-near (id 2) scores 1.
+        assert [i.poi.poi_id for i in ranked] == [1, 0, 3, 2]
+
+    def test_direction_distance_without_heading_is_pure_distance(self):
+        host, items = self.make_items()
+        ranked = DirectionDistancePolicy().rank_victims(items, host, (0.0, 0.0))
+        assert {ranked[0].poi.poi_id, ranked[1].poi.poi_id} == {0, 1}
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            DirectionDistancePolicy(behind_penalty=-0.5)
+
+    def test_lru_ranks_by_last_used(self):
+        host, items = self.make_items()
+        ranked = LRUPolicy().rank_victims(items, host, (0, 0))
+        assert [i.poi.poi_id for i in ranked] == [1, 2, 3, 0]
+
+    def test_fifo_ranks_by_insertion(self):
+        host, items = self.make_items()
+        ranked = FIFOPolicy().rank_victims(items, host, (0, 0))
+        assert [i.poi.poi_id for i in ranked] == [0, 1, 2, 3]
+
+    def test_touch_updates_lru(self):
+        cache = POICache(capacity=2, policy=LRUPolicy())
+        a, b, c = POI(0, Point(0, 0)), POI(1, Point(1, 1)), POI(2, Point(2, 2))
+        cache.insert_result(Rect(0, 0, 1, 1), [a, b], 0.0, Point(0, 0))
+        cache.touch([0], now=10.0)  # a becomes the most recent
+        cache.insert_result(Rect(2, 2, 3, 3), [c], 11.0, Point(0, 0))
+        assert 0 in cache and 2 in cache and 1 not in cache

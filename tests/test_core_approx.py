@@ -1,0 +1,120 @@
+"""Tests for Lemma 3.2: correctness probability and surpassing ratio."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    correctness_probability,
+    expected_detour,
+    surpassing_ratio,
+    unverified_region_area,
+)
+from repro.core.approx import annotate_heap
+from repro.core.nnv import nnv
+from repro.errors import ReproError
+from repro.geometry import Circle, Point, Rect, RectUnion
+from repro.model import POI
+from repro.p2p import ShareResponse
+
+
+class TestUnverifiedRegionArea:
+    def test_fully_covered_disc(self):
+        mvr = RectUnion([Rect(-10, -10, 10, 10)])
+        assert unverified_region_area(Point(0, 0), 2, mvr) == pytest.approx(0.0)
+
+    def test_uncovered_disc(self):
+        mvr = RectUnion([Rect(100, 100, 101, 101)])
+        area = unverified_region_area(Point(0, 0), 2, mvr)
+        assert area == pytest.approx(math.pi * 4)
+
+    def test_half_covered(self):
+        mvr = RectUnion([Rect(0, -10, 10, 10)])
+        area = unverified_region_area(Point(0, 0), 2, mvr)
+        assert area == pytest.approx(math.pi * 2)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ReproError):
+            unverified_region_area(Point(0, 0), -1, RectUnion())
+
+
+class TestCorrectnessProbability:
+    def test_table2_worked_example(self):
+        """The paper: λ = 0.3, u = 2 square units → e^-0.6 ≈ 0.5488."""
+        assert math.exp(-0.3 * 2) == pytest.approx(0.5488, abs=1e-4)
+        # Reconstruct geometrically: a disc of area 4 whose left half
+        # is covered leaves u = 2.
+        radius = math.sqrt(4 / math.pi)
+        mvr = RectUnion([Rect(-10, -10, 0, 10)])
+        p = correctness_probability(Point(0, 0), radius, mvr, poi_density=0.3)
+        assert p == pytest.approx(math.exp(-0.6), rel=1e-6)
+
+    def test_full_coverage_is_certain(self):
+        mvr = RectUnion([Rect(-10, -10, 10, 10)])
+        assert correctness_probability(Point(0, 0), 1, mvr, 5.0) == pytest.approx(1.0)
+
+    def test_monotone_in_density(self):
+        mvr = RectUnion([Rect(0, -10, 10, 10)])
+        q = Point(0, 0)
+        p_low = correctness_probability(q, 2, mvr, 0.1)
+        p_high = correctness_probability(q, 2, mvr, 1.0)
+        assert p_high < p_low
+
+    def test_monotone_in_distance(self):
+        mvr = RectUnion([Rect(-1, -1, 1, 1)])
+        q = Point(0, 0)
+        p_near = correctness_probability(q, 1.2, mvr, 0.5)
+        p_far = correctness_probability(q, 3.0, mvr, 0.5)
+        assert p_far < p_near
+
+    def test_negative_density_raises(self):
+        with pytest.raises(ReproError):
+            correctness_probability(Point(0, 0), 1, RectUnion(), -0.1)
+
+
+class TestSurpassingRatio:
+    def test_table2_values(self):
+        # Table 2: distances 2 (verified anchor... the paper anchors on
+        # the last verified POI o5 at 3): o4 at 5 → 1.67, o3 at 6 → 2.0.
+        assert surpassing_ratio(5, 3) == pytest.approx(1.667, abs=1e-3)
+        assert surpassing_ratio(6, 3) == pytest.approx(2.0)
+
+    def test_no_anchor_returns_none(self):
+        assert surpassing_ratio(5, None) is None
+        assert surpassing_ratio(5, 0.0) is None
+
+    def test_closer_than_anchor_raises(self):
+        with pytest.raises(ReproError):
+            surpassing_ratio(1, 2)
+
+    def test_expected_detour_example(self):
+        # "he has to drive approximately two more miles":
+        # 3 × (1.67 − 1) ≈ 2.
+        detour = expected_detour(5, 3)
+        assert detour == pytest.approx(2.0)
+        assert expected_detour(5, None) is None
+
+
+class TestAnnotateHeap:
+    def test_annotations_attached_to_unverified_only(self):
+        vr = Rect(0, 0, 10, 10)
+        pois = [POI(0, Point(5.2, 5.0)), POI(1, Point(9.9, 9.9))]
+        responses = [ShareResponse(0, (vr,), tuple(pois))]
+        q = Point(5, 5)
+        heap, mvr = nnv(q, responses, k=2)
+        annotate_heap(q, heap, mvr, poi_density=0.3)
+        verified = heap.verified_entries[0]
+        unverified = heap.unverified_entries[0]
+        assert verified.correctness is None
+        assert 0 < unverified.correctness < 1
+        assert unverified.surpassing_ratio > 1
+
+    def test_annotation_probability_decreases_with_rank(self):
+        vr = Rect(0, 0, 4, 4)
+        q = Point(2, 2)
+        pois = [POI(i, Point(2 + 0.9 * (i + 1), 2)) for i in range(3)]
+        responses = [ShareResponse(0, (vr,), tuple(pois))]
+        heap, mvr = nnv(q, responses, k=3)
+        annotate_heap(q, heap, mvr, poi_density=0.4)
+        probs = [e.correctness for e in heap.unverified_entries]
+        assert probs == sorted(probs, reverse=True)

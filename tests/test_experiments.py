@@ -1,0 +1,265 @@
+"""Tests for the experiment harness: host pipeline, station, simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Resolution
+from repro.errors import ExperimentError
+from repro.experiments import (
+    BaseStation,
+    MetricsCollector,
+    QueryRecord,
+    Simulation,
+    scaled_parameters,
+)
+from repro.geometry import Rect
+from repro.index import brute_force_knn, brute_force_window
+from repro.sim import Environment, Store
+from repro.workloads import LA_CITY, QueryKind, generate_pois
+
+TINY = dict(area_scale=0.02)
+
+
+def tiny_sim(seed=0, **kwargs):
+    params = scaled_parameters(LA_CITY, **TINY)
+    return Simulation(params, seed=seed, **kwargs)
+
+
+class TestMetricsCollector:
+    def make_record(self, resolution, latency=1.0):
+        return QueryRecord(
+            time=0.0,
+            host_id=0,
+            kind=QueryKind.KNN,
+            resolution=resolution,
+            access_latency=latency,
+            tuning_packets=3,
+            buckets_downloaded=2,
+            peer_count=1,
+        )
+
+    def test_empty_collector_raises(self):
+        collector = MetricsCollector()
+        with pytest.raises(ExperimentError):
+            collector.percentage(Resolution.VERIFIED)
+        with pytest.raises(ExperimentError):
+            collector.summary()
+
+    def test_percentages_sum_to_100(self):
+        collector = MetricsCollector()
+        for resolution in (
+            Resolution.VERIFIED,
+            Resolution.VERIFIED,
+            Resolution.APPROXIMATE,
+            Resolution.BROADCAST,
+        ):
+            collector.add(self.make_record(resolution))
+        total = (
+            collector.pct_verified
+            + collector.pct_approximate
+            + collector.pct_broadcast
+        )
+        assert total == pytest.approx(100.0)
+        assert collector.pct_verified == 50.0
+
+    def test_latency_filtering(self):
+        collector = MetricsCollector()
+        collector.add(self.make_record(Resolution.VERIFIED, latency=0.1))
+        collector.add(self.make_record(Resolution.BROADCAST, latency=5.0))
+        assert collector.mean_latency(Resolution.BROADCAST) == 5.0
+        assert collector.mean_latency() == pytest.approx(2.55)
+
+
+class TestBaseStation:
+    def make(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        bounds = Rect(0, 0, 10, 10)
+        pois = generate_pois(bounds, n, rng)
+        return BaseStation(pois, bounds, m=2, packet_time=0.5), pois
+
+    def test_cycle_slots_structure(self):
+        station, _ = self.make()
+        slots = station.cycle_slots()
+        assert len(slots) == station.schedule.cycle_packets
+        data_slots = [s for s in slots if s[0] == "data"]
+        assert len(data_slots) == station.schedule.data_bucket_count
+        assert [ref for _, ref in data_slots] == list(
+            range(station.schedule.data_bucket_count)
+        )
+
+    def test_des_replay_matches_schedule_arithmetic(self):
+        # The replayed packet end-times must agree with the closed-form
+        # schedule offsets the harness prices retrievals with.
+        station, _ = self.make()
+        env = Environment()
+        channel = Store(env)
+        received = []
+
+        def sink(env, channel):
+            while True:
+                packet = yield channel.get()
+                received.append(packet)
+
+        env.process(station.broadcast_process(env, channel, cycles=1))
+        env.process(sink(env, channel))
+        env.run(until=station.schedule.cycle_duration + 1)
+        data_packets = [p for p in received if p.kind == "data"]
+        for packet in data_packets:
+            expected_end = (
+                station.schedule.bucket_offset(packet.ref) + 1
+            ) * station.schedule.packet_time
+            assert packet.time == pytest.approx(expected_end)
+
+    def test_replay_cycle_count(self):
+        station, _ = self.make(n=20)
+        env = Environment()
+        channel = Store(env)
+        env.process(station.broadcast_process(env, channel, cycles=3))
+        env.run()
+        assert len(channel) == 3 * station.schedule.cycle_packets
+
+
+class TestSimulationQueries:
+    def test_knn_answers_are_exact_or_approximate(self):
+        sim = tiny_sim(seed=1)
+        for trial in range(30):
+            result = sim.run_knn_query(k=3)
+            record = result.record
+            expected = brute_force_knn(
+                sim.pois, sim.host_position(record.host_id), 3
+            )
+            got_ids = {p.poi_id for p in result.answers}
+            want_ids = {e.poi.poi_id for e in expected}
+            if record.resolution in (Resolution.VERIFIED, Resolution.BROADCAST):
+                assert got_ids == want_ids
+            else:
+                # Approximate answers may differ but not by much: at
+                # least one true NN must be present.
+                assert got_ids & want_ids
+
+    def test_window_answers_are_exact(self):
+        sim = tiny_sim(seed=2)
+        for trial in range(30):
+            result = sim.run_window_query()
+            record = result.record
+            # Window queries are always exact in SBWQ (full coverage or
+            # broadcast completion).
+            assert record.kind is QueryKind.WINDOW
+            assert record.resolution in (
+                Resolution.VERIFIED,
+                Resolution.BROADCAST,
+            )
+
+    def test_window_answer_content_matches_oracle(self):
+        sim = tiny_sim(seed=3)
+        # Execute enough queries that both resolutions appear, and
+        # verify content by re-deriving the window.
+        from repro.workloads import QueryEvent
+
+        rng = np.random.default_rng(5)
+        for trial in range(20):
+            host_id = int(rng.integers(sim.params.mh_number))
+            event = QueryEvent(
+                time=sim.env.now,
+                host_id=host_id,
+                kind=QueryKind.WINDOW,
+                window_area=sim.params.window_area_mi2,
+                center_offset=(0.1, -0.1),
+            )
+            position = sim.host_position(host_id)
+            window = event.window_for(position, sim.params.bounds)
+            result = sim.execute_query(event)
+            expected = {
+                p.poi_id for p in brute_force_window(sim.pois, window)
+            }
+            assert {p.poi_id for p in result.answers} == expected
+
+    def test_caches_remain_sound_after_traffic(self):
+        sim = tiny_sim(seed=4)
+        sim.run_workload(QueryKind.KNN, warmup_queries=0, measure_queries=150)
+        checked = 0
+        for host in sim.hosts:
+            if host.cache.region_rects:
+                host.cache.check_soundness(sim.pois)
+                checked += 1
+        assert checked > 0  # traffic actually populated caches
+
+    def test_caches_remain_sound_after_window_traffic(self):
+        sim = tiny_sim(seed=5)
+        sim.run_workload(QueryKind.WINDOW, warmup_queries=0, measure_queries=100)
+        for host in sim.hosts:
+            if host.cache.region_rects:
+                host.cache.check_soundness(sim.pois)
+
+    def test_unknown_host_raises(self):
+        sim = tiny_sim()
+        with pytest.raises(ExperimentError):
+            sim.host_position(10**9)
+
+    def test_invalid_workload_counts(self):
+        sim = tiny_sim()
+        with pytest.raises(ExperimentError):
+            sim.run_workload(QueryKind.KNN, warmup_queries=-1, measure_queries=1)
+        with pytest.raises(ExperimentError):
+            sim.run_workload(QueryKind.KNN, warmup_queries=0, measure_queries=0)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = tiny_sim(seed=seed)
+            collector = sim.run_workload(
+                QueryKind.KNN, warmup_queries=0, measure_queries=60
+            )
+            return [
+                (r.resolution.value, round(r.access_latency, 9))
+                for r in collector.records
+            ]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_clock_advances_with_workload(self):
+        sim = tiny_sim(seed=6)
+        sim.run_workload(QueryKind.KNN, warmup_queries=0, measure_queries=50)
+        assert sim.env.now > 0
+
+
+class TestSharingEffectiveness:
+    """End-to-end sanity: sharing must actually help, and more range
+    must help more (the Figure 10 mechanism in miniature)."""
+
+    def test_warm_system_beats_cold_system(self):
+        sim = tiny_sim(seed=10)
+        cold = sim.run_workload(QueryKind.KNN, 0, 150)
+        warm = sim.run_workload(QueryKind.KNN, 0, 150)  # same world, later
+        assert warm.pct_broadcast <= cold.pct_broadcast
+
+    def test_larger_tx_range_resolves_more(self):
+        params_small = scaled_parameters(LA_CITY, area_scale=0.02, tx_range_m=10)
+        params_large = scaled_parameters(LA_CITY, area_scale=0.02, tx_range_m=200)
+        small = Simulation(params_small, seed=11).run_workload(
+            QueryKind.KNN, 300, 200
+        )
+        large = Simulation(params_large, seed=11).run_workload(
+            QueryKind.KNN, 300, 200
+        )
+        assert large.pct_broadcast < small.pct_broadcast
+
+    def test_broadcast_latency_dwarfs_peer_latency(self):
+        sim = tiny_sim(seed=12)
+        collector = sim.run_workload(QueryKind.KNN, 200, 300)
+        peer_latency = collector.mean_latency(Resolution.VERIFIED)
+        broadcast_latency = collector.mean_latency(Resolution.BROADCAST)
+        if collector.count(Resolution.VERIFIED) and collector.count(
+            Resolution.BROADCAST
+        ):
+            assert broadcast_latency > 5 * peer_latency
+
+    def test_overhear_ablation(self):
+        params = scaled_parameters(LA_CITY, area_scale=0.02)
+        with_overhear = Simulation(params, seed=13, overhear=True).run_workload(
+            QueryKind.KNN, 300, 200
+        )
+        without = Simulation(params, seed=13, overhear=False).run_workload(
+            QueryKind.KNN, 300, 200
+        )
+        assert with_overhear.pct_broadcast <= without.pct_broadcast

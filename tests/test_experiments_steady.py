@@ -1,0 +1,83 @@
+"""Tests for the adaptive steady-state detector."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import Simulation, scaled_parameters
+from repro.experiments.steady import SteadyStateReport, run_until_steady
+from repro.workloads import LA_CITY, QueryKind
+
+
+def make_sim(seed=0):
+    params = scaled_parameters(LA_CITY, area_scale=0.012)
+    return Simulation(params, seed=seed)
+
+
+class TestSteadyState:
+    def test_validation(self):
+        sim = make_sim()
+        with pytest.raises(ExperimentError):
+            run_until_steady(sim, QueryKind.KNN, batch_queries=0)
+        with pytest.raises(ExperimentError):
+            run_until_steady(sim, QueryKind.KNN, tolerance_pct=0)
+        with pytest.raises(ExperimentError):
+            run_until_steady(sim, QueryKind.KNN, stable_batches=0)
+
+    def test_converges_on_small_world(self):
+        report = run_until_steady(
+            make_sim(seed=1),
+            QueryKind.KNN,
+            batch_queries=150,
+            tolerance_pct=8.0,
+            max_batches=20,
+        )
+        assert isinstance(report, SteadyStateReport)
+        assert report.converged
+        assert report.batches_run <= 20
+        assert len(report.measurement) == 150
+
+    def test_history_is_recorded(self):
+        report = run_until_steady(
+            make_sim(seed=2),
+            QueryKind.KNN,
+            batch_queries=150,
+            tolerance_pct=8.0,
+            max_batches=10,
+        )
+        assert len(report.history) == report.batches_run
+        assert all(0 <= h <= 100 for h in report.history)
+
+    def test_broadcast_share_trends_down_during_warmup(self):
+        report = run_until_steady(
+            make_sim(seed=3),
+            QueryKind.KNN,
+            batch_queries=200,
+            tolerance_pct=2.0,
+            max_batches=12,
+        )
+        # Caches fill, so the early batches use the channel more than
+        # the late ones.
+        assert report.history[0] >= report.history[-1] - 5.0
+
+    def test_max_batches_respected_without_convergence(self):
+        report = run_until_steady(
+            make_sim(seed=4),
+            QueryKind.KNN,
+            batch_queries=60,
+            tolerance_pct=0.01,  # essentially unreachable
+            stable_batches=5,
+            max_batches=4,
+        )
+        assert not report.converged
+        assert report.batches_run == 4
+
+    def test_custom_measurement_size(self):
+        report = run_until_steady(
+            make_sim(seed=5),
+            QueryKind.KNN,
+            batch_queries=100,
+            tolerance_pct=10.0,
+            max_batches=6,
+            measure_queries=40,
+        )
+        assert len(report.measurement) == 40

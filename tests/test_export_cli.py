@@ -1,0 +1,135 @@
+"""Tests for CSV export and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import Resolution
+from repro.errors import ExperimentError
+from repro.experiments import MetricsCollector, QueryRecord, SweepSeries
+from repro.experiments.export import (
+    read_sweep_csv,
+    sweep_to_rows,
+    write_records_csv,
+    write_sweep_csv,
+)
+from repro.workloads import QueryKind
+
+
+def make_panels():
+    return [
+        SweepSeries(
+            region="Testville",
+            x_label="TxRange",
+            xs=[10.0, 20.0],
+            series={"SBNN": [30.0, 60.0], "Broadcast": [70.0, 40.0]},
+        )
+    ]
+
+
+class TestExport:
+    def test_sweep_rows_flattening(self):
+        rows = sweep_to_rows(make_panels())
+        assert len(rows) == 4
+        assert rows[0]["region"] == "Testville"
+        assert {r["series"] for r in rows} == {"SBNN", "Broadcast"}
+
+    def test_sweep_roundtrip(self, tmp_path):
+        path = write_sweep_csv(make_panels(), tmp_path / "sweep.csv")
+        rows = read_sweep_csv(path)
+        assert len(rows) == 4
+        assert rows[0]["x"] == 10.0
+        assert any(r["percent"] == 60.0 for r in rows)
+
+    def test_empty_sweep_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_sweep_csv([], tmp_path / "nope.csv")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            read_sweep_csv(tmp_path / "absent.csv")
+
+    def test_records_csv(self, tmp_path):
+        collector = MetricsCollector()
+        collector.add(
+            QueryRecord(
+                time=1.0,
+                host_id=2,
+                kind=QueryKind.KNN,
+                resolution=Resolution.VERIFIED,
+                access_latency=0.05,
+                tuning_packets=0,
+                buckets_downloaded=0,
+                peer_count=3,
+                k=5,
+            )
+        )
+        path = write_records_csv(collector, tmp_path / "records.csv")
+        content = path.read_text()
+        assert "verified" in content
+        assert "knn" in content
+
+    def test_empty_records_raise(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_records_csv(MetricsCollector(), tmp_path / "r.csv")
+
+
+class TestCLI:
+    def test_parser_rejects_unknown_figure(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "fig99"])
+
+    def test_params_command(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "Los Angeles City" in out
+        assert "Riverside County" in out
+
+    def test_query_command(self, capsys):
+        code = main(
+            [
+                "query",
+                "--region",
+                "riverside",
+                "--k",
+                "2",
+                "--scale",
+                "0.02",
+                "--warmup",
+                "30",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "host" in out
+        assert "#1" in out
+
+    def test_figure_command_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "fig10.csv"
+        code = main(
+            [
+                "figure",
+                "fig10",
+                "--scale",
+                "0.015",
+                "--warmup",
+                "50",
+                "--measure",
+                "40",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        rows = read_sweep_csv(out_path)
+        assert {r["region"] for r in rows} == {
+            "Los Angeles City",
+            "Synthetic Suburbia",
+            "Riverside County",
+        }
+        out = capsys.readouterr().out
+        assert "Transmission Range" in out

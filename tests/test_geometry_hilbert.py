@@ -1,0 +1,148 @@
+"""Tests for the Hilbert curve encoding and the grid wrapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    HilbertGrid,
+    Point,
+    Rect,
+    hilbert_d_to_xy,
+    hilbert_xy_to_d,
+)
+
+
+class TestHilbertTransform:
+    def test_order_one_layout(self):
+        # The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+        cells = [hilbert_d_to_xy(1, d) for d in range(4)]
+        assert cells == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6])
+    def test_bijection(self, order):
+        side = 1 << order
+        seen = set()
+        for d in range(side * side):
+            xy = hilbert_d_to_xy(order, d)
+            assert hilbert_xy_to_d(order, *xy) == d
+            seen.add(xy)
+        assert len(seen) == side * side
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_adjacency(self, order):
+        # Consecutive curve positions are 4-neighbours in the grid.
+        side = 1 << order
+        prev = hilbert_d_to_xy(order, 0)
+        for d in range(1, side * side):
+            cur = hilbert_d_to_xy(order, d)
+            manhattan = abs(cur[0] - prev[0]) + abs(cur[1] - prev[1])
+            assert manhattan == 1
+            prev = cur
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(GeometryError):
+            hilbert_xy_to_d(2, 4, 0)
+        with pytest.raises(GeometryError):
+            hilbert_d_to_xy(2, 16)
+        with pytest.raises(GeometryError):
+            hilbert_d_to_xy(2, -1)
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(0, side - 1))
+        y = data.draw(st.integers(0, side - 1))
+        assert hilbert_d_to_xy(order, hilbert_xy_to_d(order, x, y)) == (x, y)
+
+
+class TestHilbertGrid:
+    def make_grid(self, order=3):
+        return HilbertGrid(order, Rect(0, 0, 8, 8))
+
+    def test_invalid_construction(self):
+        with pytest.raises(GeometryError):
+            HilbertGrid(0, Rect(0, 0, 1, 1))
+        with pytest.raises(GeometryError):
+            HilbertGrid(2, Rect(0, 0, 0, 1))
+
+    def test_cell_count(self):
+        assert self.make_grid(3).cell_count == 64
+
+    def test_point_to_cell(self):
+        grid = self.make_grid()
+        assert grid.cell_of_point(Point(0.5, 0.5)) == (0, 0)
+        assert grid.cell_of_point(Point(7.5, 7.5)) == (7, 7)
+        # Points on the far edge clamp into the last cell.
+        assert grid.cell_of_point(Point(8, 8)) == (7, 7)
+        # Points outside clamp to the nearest edge cell.
+        assert grid.cell_of_point(Point(-1, 100)) == (0, 7)
+
+    def test_cell_rect_roundtrip(self):
+        grid = self.make_grid()
+        for cx, cy in [(0, 0), (3, 5), (7, 7)]:
+            rect = grid.cell_rect(cx, cy)
+            assert grid.cell_of_point(rect.center) == (cx, cy)
+
+    def test_value_roundtrip(self):
+        grid = self.make_grid()
+        p = Point(2.5, 6.5)
+        value = grid.value_of_point(p)
+        assert grid.rect_of_value(value).contains_point(p)
+
+    def test_values_intersecting_window(self):
+        grid = self.make_grid()
+        values = grid.values_intersecting(Rect(0, 0, 2, 2))
+        # Window covers cells (0..2, 0..2) because touching counts.
+        assert values == sorted(values)
+        cells = {hilbert_d_to_xy(3, v) for v in values}
+        assert (0, 0) in cells and (1, 1) in cells
+
+    def test_values_intersecting_whole_bounds(self):
+        grid = self.make_grid(2)
+        values = grid.values_intersecting(Rect(0, 0, 8, 8))
+        assert values == list(range(16))
+
+    def test_values_intersecting_outside(self):
+        grid = self.make_grid()
+        assert grid.values_intersecting(Rect(100, 100, 101, 101)) == []
+
+    def test_cell_diagonal(self):
+        grid = self.make_grid(3)
+        assert grid.cell_diagonal == pytest.approx(2**0.5)
+
+    def test_locality_of_hilbert_ordering(self):
+        # The classic clustering result (Moon et al.): a square window
+        # decomposes into fewer contiguous curve runs under Hilbert
+        # ordering than under row-major ordering — fewer runs means
+        # fewer disjoint broadcast segments to listen to.
+        order = 4
+        side = 1 << order
+
+        def run_count(values):
+            values = sorted(values)
+            runs = 1
+            for a, b in zip(values, values[1:]):
+                if b != a + 1:
+                    runs += 1
+            return runs
+
+        for k in (2, 4, 8):
+            hilbert_runs = 0
+            scan_runs = 0
+            windows = 0
+            for x0 in range(side - k + 1):
+                for y0 in range(side - k + 1):
+                    cells = [
+                        (x, y)
+                        for x in range(x0, x0 + k)
+                        for y in range(y0, y0 + k)
+                    ]
+                    hilbert_runs += run_count(
+                        hilbert_xy_to_d(order, x, y) for x, y in cells
+                    )
+                    scan_runs += run_count(y * side + x for x, y in cells)
+                    windows += 1
+            assert hilbert_runs / windows < scan_runs / windows

@@ -1,0 +1,62 @@
+"""Tests for the simple-polygon helpers."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Polygon, Rect
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_closed_ring_is_normalised(self):
+        tri = Polygon([Point(0, 0), Point(1, 0), Point(0, 1), Point(0, 0)])
+        assert len(tri.vertices) == 3
+
+    def test_triangle_area(self):
+        tri = Polygon([Point(0, 0), Point(4, 0), Point(0, 3)])
+        assert tri.area == pytest.approx(6.0)
+        assert tri.perimeter == pytest.approx(12.0)
+
+    def test_signed_area_orientation(self):
+        ccw = Polygon([Point(0, 0), Point(1, 0), Point(1, 1)])
+        cw = Polygon([Point(0, 0), Point(1, 1), Point(1, 0)])
+        assert ccw.signed_area > 0
+        assert cw.signed_area < 0
+        assert ccw.area == cw.area
+
+    def test_from_rect_matches_rect(self):
+        rect = Rect(1, 2, 5, 4)
+        poly = Polygon.from_rect(rect)
+        assert poly.area == pytest.approx(rect.area)
+        assert poly.bbox() == rect
+
+    def test_contains_point(self):
+        poly = Polygon.from_rect(Rect(0, 0, 2, 2))
+        assert poly.contains_point(Point(1, 1))
+        assert poly.contains_point(Point(0, 0))  # boundary
+        assert poly.contains_point(Point(2, 1))  # boundary
+        assert not poly.contains_point(Point(3, 1))
+
+    def test_contains_point_concave(self):
+        # L-shape: the notch is outside.
+        poly = Polygon(
+            [
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 2),
+                Point(2, 2),
+                Point(2, 4),
+                Point(0, 4),
+            ]
+        )
+        assert poly.contains_point(Point(1, 3))
+        assert poly.contains_point(Point(3, 1))
+        assert not poly.contains_point(Point(3, 3))
+        assert poly.area == pytest.approx(12.0)
+
+    def test_distance_to_boundary(self):
+        poly = Polygon.from_rect(Rect(0, 0, 10, 10))
+        assert poly.distance_to_boundary(Point(5, 2)) == pytest.approx(2.0)

@@ -1,0 +1,162 @@
+"""Unit and property tests for axis-aligned rectangles."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+
+coords = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(st.floats(0, 100, allow_nan=False))
+    h = draw(st.floats(0, 100, allow_nan=False))
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+class TestConstruction:
+    def test_malformed_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(GeometryError):
+            Rect(0, 1, 1, 0)
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(-2, 3), Point(0, 9)])
+        assert r == Rect(-2, 3, 1, 9)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        assert Rect.from_center(Point(1, 1), 4, 2) == Rect(-1, 0, 3, 2)
+
+    def test_from_center_negative_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_center(Point(0, 0), -1, 1)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert r == Rect(0, -1, 3, 1)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+
+class TestMeasures:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 3)
+        assert (r.width, r.height, r.area, r.perimeter) == (4, 3, 12, 14)
+        assert r.center == Point(2, 1.5)
+
+    def test_degenerate(self):
+        assert Rect(0, 0, 0, 5).is_degenerate()
+        assert Rect(0, 0, 5, 0).is_degenerate()
+        assert not Rect(0, 0, 1, 1).is_degenerate()
+
+
+class TestPredicates:
+    def test_contains_point_closed(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert r.contains_point(Point(1, 1))
+        assert not r.contains_point(Point(2.0001, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(1, 1, 11, 9))
+
+    def test_intersects_closed(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 1.01, 2, 2))
+
+    def test_overlaps_interior(self):
+        assert not Rect(0, 0, 1, 1).overlaps_interior(Rect(1, 0, 2, 1))
+        assert Rect(0, 0, 1, 1).overlaps_interior(Rect(0.5, 0.5, 2, 2))
+
+
+class TestCombinators:
+    def test_intersection(self):
+        out = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert out == Rect(2, 2, 4, 4)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_union_mbr(self):
+        assert Rect(0, 0, 1, 1).union_mbr(Rect(3, -1, 4, 0.5)) == Rect(
+            0, -1, 4, 1
+        )
+
+    def test_expanded(self):
+        assert Rect(0, 0, 2, 2).expanded(1) == Rect(-1, -1, 3, 3)
+        assert Rect(0, 0, 4, 4).expanded(-1) == Rect(1, 1, 3, 3)
+
+    def test_expanded_too_much_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 2, 2).expanded(-1.5)
+
+
+class TestDistances:
+    def test_distance_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).distance_to_point(Point(1, 1)) == 0.0
+
+    def test_distance_outside(self):
+        assert Rect(0, 0, 2, 2).distance_to_point(Point(5, 6)) == 5.0
+
+    def test_max_distance(self):
+        assert Rect(0, 0, 3, 4).max_distance_to_point(Point(0, 0)) == 5.0
+
+    def test_boundary_distance_inside(self):
+        assert Rect(0, 0, 10, 10).boundary_distance_to_point(Point(5, 3)) == 3.0
+
+    def test_sample_point(self):
+        r = Rect(0, 0, 10, 4)
+        assert r.sample_point(0.5, 0.5) == r.center
+        assert r.sample_point(0, 0) == Point(0, 0)
+        assert r.sample_point(1, 1) == Point(10, 4)
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersection_area_never_exceeds_either(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert inter.area <= a.area + 1e-6
+            assert inter.area <= b.area + 1e-6
+
+    @given(rects(), rects())
+    def test_union_mbr_contains_both(self, a, b):
+        u = a.union_mbr(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), coords, coords)
+    def test_distance_zero_iff_contains(self, r, px, py):
+        p = Point(px, py)
+        if r.contains_point(p):
+            assert r.distance_to_point(p) == 0.0
+        else:
+            assert r.distance_to_point(p) > 0.0
+
+    @given(rects(), coords, coords)
+    def test_max_distance_bounds_min_distance(self, r, px, py):
+        p = Point(px, py)
+        assert r.max_distance_to_point(p) >= r.distance_to_point(p)
+
+    @given(rects())
+    def test_corners_are_contained(self, r):
+        for c in r.corners():
+            assert r.contains_point(c)

@@ -1,0 +1,110 @@
+"""Tests for the PR quadtree against the brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+from repro.index import QuadTree, brute_force_knn, brute_force_window
+from repro.model import POI
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def make_pois(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        POI(i, Point(float(x), float(y)))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, (n, 2)))
+    ]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            QuadTree(Rect(0, 0, 0, 1))
+        with pytest.raises(GeometryError):
+            QuadTree(BOUNDS, node_capacity=0)
+        with pytest.raises(GeometryError):
+            QuadTree(BOUNDS, max_depth=0)
+
+    def test_insert_outside_bounds_raises(self):
+        tree = QuadTree(BOUNDS)
+        with pytest.raises(GeometryError):
+            tree.insert(Point(101, 50), "x")
+
+    def test_size_tracking(self):
+        pois = make_pois(50)
+        tree = QuadTree.from_pois(pois, BOUNDS)
+        assert len(tree) == 50
+        assert sorted(p.poi_id for p in tree.iter_items()) == list(range(50))
+
+    def test_splitting_keeps_leaves_small(self):
+        pois = make_pois(500, seed=1)
+        tree = QuadTree.from_pois(pois, BOUNDS, node_capacity=4)
+        assert tree.depth() > 1
+
+    def test_duplicate_points_respect_max_depth(self):
+        tree = QuadTree(BOUNDS, node_capacity=2, max_depth=5)
+        for i in range(20):
+            tree.insert(Point(10.0, 10.0), i)
+        assert len(tree) == 20
+        assert tree.depth() <= 5
+        hits = tree.window_query(Rect(9, 9, 11, 11))
+        assert sorted(hits) == list(range(20))
+
+
+class TestQueries:
+    def test_window_matches_oracle(self):
+        pois = make_pois(300, seed=2)
+        tree = QuadTree.from_pois(pois, BOUNDS)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            x1, y1 = rng.uniform(0, 80, 2)
+            window = Rect(x1, y1, x1 + rng.uniform(1, 30), y1 + rng.uniform(1, 30))
+            got = sorted(p.poi_id for p in tree.window_query(window))
+            expected = [p.poi_id for p in brute_force_window(pois, window)]
+            assert got == expected
+
+    @pytest.mark.parametrize("k", [1, 4, 12])
+    def test_knn_matches_oracle(self, k):
+        pois = make_pois(250, seed=4)
+        tree = QuadTree.from_pois(pois, BOUNDS)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            q = Point(*rng.uniform(0, 100, 2))
+            got = tree.nearest(q, k)
+            expected = brute_force_knn(pois, q, k)
+            assert [e.distance for e in got] == pytest.approx(
+                [e.distance for e in expected]
+            )
+
+    def test_knn_k_zero(self):
+        tree = QuadTree.from_pois(make_pois(10), BOUNDS)
+        assert tree.nearest(Point(0, 0), 0) == []
+
+    def test_knn_k_exceeds_size(self):
+        tree = QuadTree.from_pois(make_pois(5), BOUNDS)
+        assert len(tree.nearest(Point(0, 0), 100)) == 5
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(0, 100),
+        st.floats(0, 100),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_knn_property(self, coords, qx, qy, k):
+        pois = [POI(i, Point(x, y)) for i, (x, y) in enumerate(coords)]
+        tree = QuadTree.from_pois(pois, BOUNDS, node_capacity=3)
+        got = tree.nearest(Point(qx, qy), k)
+        expected = brute_force_knn(pois, Point(qx, qy), k)
+        assert [e.distance for e in got] == pytest.approx(
+            [e.distance for e in expected]
+        )

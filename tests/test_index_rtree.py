@@ -1,0 +1,201 @@
+"""Tests for the R-tree against the brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.index import RTree, brute_force_knn, brute_force_window
+from repro.model import POI
+
+
+def make_pois(n, seed=0, extent=100.0):
+    rng = np.random.default_rng(seed)
+    return [
+        POI(i, Point(float(x), float(y)))
+        for i, (x, y) in enumerate(rng.uniform(0, extent, (n, 2)))
+    ]
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.nearest(Point(0, 0), 3) == []
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 100, 500])
+    def test_incremental_insert_invariants(self, n):
+        pois = make_pois(n, seed=n)
+        tree = RTree(max_entries=8)
+        for poi in pois:
+            tree.insert_point(poi.location, poi)
+        assert len(tree) == n
+        tree.check_invariants()
+        assert sorted(p.poi_id for p in tree.iter_items()) == list(range(n))
+
+    @pytest.mark.parametrize("n", [0, 1, 8, 64, 65, 777])
+    def test_bulk_load_invariants(self, n):
+        pois = make_pois(n, seed=n)
+        tree = RTree.from_pois(pois)
+        assert len(tree) == n
+        tree.check_invariants()
+
+    def test_bulk_load_is_shallower_than_incremental(self):
+        pois = make_pois(600, seed=3)
+        bulk = RTree.from_pois(pois)
+        incremental = RTree(max_entries=8)
+        for poi in pois:
+            incremental.insert_point(poi.location, poi)
+        assert bulk.height <= incremental.height
+
+    def test_duplicate_positions_supported(self):
+        tree = RTree(max_entries=4, min_entries=1)
+        for i in range(20):
+            tree.insert_point(Point(1.0, 1.0), i)
+        tree.check_invariants()
+        hits = tree.window_query(Rect(0, 0, 2, 2))
+        assert sorted(hits) == list(range(20))
+
+
+class TestWindowQuery:
+    @pytest.mark.parametrize("bulk", [True, False])
+    def test_matches_brute_force(self, bulk):
+        pois = make_pois(300, seed=11)
+        if bulk:
+            tree = RTree.from_pois(pois)
+        else:
+            tree = RTree()
+            for poi in pois:
+                tree.insert_point(poi.location, poi)
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            x1, y1 = rng.uniform(0, 80, 2)
+            window = Rect(x1, y1, x1 + rng.uniform(1, 30), y1 + rng.uniform(1, 30))
+            expected = {p.poi_id for p in brute_force_window(pois, window)}
+            got = {p.poi_id for p in tree.window_query(window)}
+            assert got == expected
+
+    def test_boundary_points_included(self):
+        poi = POI(0, Point(5, 5))
+        tree = RTree.from_pois([poi])
+        assert tree.window_query(Rect(5, 5, 6, 6)) == [poi]
+        assert tree.window_query(Rect(0, 0, 5, 5)) == [poi]
+
+
+class TestNearest:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_best_first_matches_brute_force(self, k):
+        pois = make_pois(400, seed=21)
+        tree = RTree.from_pois(pois)
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            q = Point(*rng.uniform(0, 100, 2))
+            expected = brute_force_knn(pois, q, k)
+            got = tree.nearest(q, k)
+            assert [e.distance for e in got] == pytest.approx(
+                [e.distance for e in expected]
+            )
+
+    @pytest.mark.parametrize("k", [1, 5, 17])
+    def test_depth_first_matches_best_first(self, k):
+        pois = make_pois(250, seed=31)
+        tree = RTree.from_pois(pois)
+        rng = np.random.default_rng(10)
+        for _ in range(20):
+            q = Point(*rng.uniform(-10, 110, 2))
+            bf = tree.nearest(q, k)
+            df = tree.nearest_depth_first(q, k)
+            assert [e.distance for e in df] == pytest.approx(
+                [e.distance for e in bf]
+            )
+
+    def test_k_larger_than_tree(self):
+        pois = make_pois(5)
+        tree = RTree.from_pois(pois)
+        assert len(tree.nearest(Point(0, 0), 50)) == 5
+
+    def test_k_zero(self):
+        tree = RTree.from_pois(make_pois(5))
+        assert tree.nearest(Point(0, 0), 0) == []
+        assert tree.nearest_depth_first(Point(0, 0), 0) == []
+
+    def test_results_sorted_by_distance(self):
+        pois = make_pois(200, seed=41)
+        tree = RTree.from_pois(pois)
+        result = tree.nearest(Point(50, 50), 20)
+        distances = [e.distance for e in result]
+        assert distances == sorted(distances)
+
+    def test_counting_view(self):
+        pois = make_pois(500, seed=51)
+        tree = RTree.from_pois(pois)
+        _, accesses = tree.count_node_accesses(
+            lambda view: view.nearest(Point(50, 50), 5)
+        )
+        assert accesses >= 1
+        # kNN should touch far fewer nodes than the whole tree.
+        total_nodes = 0
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            total_nodes += 1
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+        assert accesses < total_nodes
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(0, 100),
+        st.floats(0, 100),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_knn_always_matches_oracle(self, coords, qx, qy, k):
+        pois = [POI(i, Point(x, y)) for i, (x, y) in enumerate(coords)]
+        tree = RTree(max_entries=4, min_entries=2)
+        for poi in pois:
+            tree.insert_point(poi.location, poi)
+        tree.check_invariants()
+        q = Point(qx, qy)
+        got = tree.nearest(q, k)
+        expected = brute_force_knn(pois, q, k)
+        assert [e.distance for e in got] == pytest.approx(
+            [e.distance for e in expected]
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0, 50)),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(0, 50),
+        st.floats(0, 50),
+        st.floats(1, 25),
+        st.floats(1, 25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_window_always_matches_oracle(self, coords, x1, y1, w, h):
+        pois = [POI(i, Point(x, y)) for i, (x, y) in enumerate(coords)]
+        tree = RTree.from_pois(pois)
+        window = Rect(x1, y1, x1 + w, y1 + h)
+        got = sorted(p.poi_id for p in tree.window_query(window))
+        expected = [p.poi_id for p in brute_force_window(pois, window)]
+        assert got == expected

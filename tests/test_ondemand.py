@@ -1,0 +1,113 @@
+"""Tests for the on-demand (point-to-point) baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.geometry import Point, Rect
+from repro.index import brute_force_knn
+from repro.ondemand import OnDemandServer, mmc_wait_time
+from repro.sim import Environment, Resource
+from repro.workloads import generate_pois
+
+BOUNDS = Rect(0, 0, 20, 20)
+
+
+def make_server(n=300, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    pois = generate_pois(BOUNDS, n, rng)
+    return OnDemandServer(pois, **kwargs), pois
+
+
+class TestServer:
+    def test_validation(self):
+        _, pois = make_server()
+        with pytest.raises(ExperimentError):
+            OnDemandServer(pois, channels=0)
+        with pytest.raises(ExperimentError):
+            OnDemandServer(pois, per_node_service_time=0)
+
+    def test_service_time_positive_and_grows_with_k(self):
+        server, _ = make_server()
+        q = Point(10, 10)
+        t1 = server.service_time_for_knn(q, 1)
+        t20 = server.service_time_for_knn(q, 20)
+        assert 0 < t1 <= t20
+
+    def test_answers_are_exact(self):
+        server, pois = make_server(seed=1)
+        env = Environment()
+        uplinks = Resource(env, capacity=2)
+        sink = []
+        for i, q in enumerate([Point(3, 3), Point(15, 7), Point(9, 18)]):
+            env.process(server.request_process(env, uplinks, q, 5, sink))
+        env.run()
+        assert len(sink) == 3
+        for answer, q in zip(sink, [Point(3, 3), Point(15, 7), Point(9, 18)]):
+            expected = brute_force_knn(pois, q, 5)
+            assert [e.poi.poi_id for e in answer.results] == [
+                e.poi.poi_id for e in expected
+            ]
+
+    def test_contention_creates_queueing(self):
+        server, _ = make_server(seed=2)
+        env = Environment()
+        uplinks = Resource(env, capacity=1)
+        sink = []
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            q = Point(*rng.uniform(0, 20, 2))
+            env.process(server.request_process(env, uplinks, q, 5, sink))
+        env.run()
+        assert len(sink) == 10
+        # With one channel, later requests must have queued.
+        assert max(a.queued_for for a in sink) > 0
+        assert server.served == 10
+
+    def test_more_channels_reduce_waiting(self):
+        def total_wait(channels, seed=4):
+            server, _ = make_server(seed=seed)
+            env = Environment()
+            uplinks = Resource(env, capacity=channels)
+            sink = []
+            rng = np.random.default_rng(5)
+            for _ in range(20):
+                q = Point(*rng.uniform(0, 20, 2))
+                env.process(server.request_process(env, uplinks, q, 5, sink))
+            env.run()
+            return sum(a.queued_for for a in sink)
+
+        assert total_wait(channels=8) < total_wait(channels=1)
+
+
+class TestMMC:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            mmc_wait_time(-1, 1, 1)
+        with pytest.raises(ExperimentError):
+            mmc_wait_time(1, 0, 1)
+        with pytest.raises(ExperimentError):
+            mmc_wait_time(1, 1, 0)
+
+    def test_zero_load(self):
+        assert mmc_wait_time(0, 1, 3) == 0.0
+
+    def test_unstable_system_is_infinite(self):
+        assert mmc_wait_time(10, 1, 4) == math.inf
+        assert mmc_wait_time(4, 1, 4) == math.inf  # rho == 1
+
+    def test_mm1_closed_form(self):
+        # M/M/1: W_q = rho / (mu - lambda).
+        lam, mu = 0.5, 1.0
+        expected = (lam / mu) / (mu - lam)
+        assert mmc_wait_time(lam, mu, 1) == pytest.approx(expected)
+
+    def test_wait_grows_with_load(self):
+        waits = [mmc_wait_time(lam, 1.0, 4) for lam in (0.5, 2.0, 3.5)]
+        assert waits == sorted(waits)
+        assert waits[-1] > 10 * waits[0]
+
+    def test_wait_shrinks_with_servers(self):
+        assert mmc_wait_time(3, 1, 8) < mmc_wait_time(3, 1, 4)

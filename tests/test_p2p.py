@@ -1,0 +1,82 @@
+"""Tests for the peer-to-peer layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry import Point, Rect
+from repro.model import POI
+from repro.p2p import PeerNetwork, ShareRequest, ShareResponse
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class TestProtocol:
+    def test_request_defaults(self):
+        req = ShareRequest(requester_id=7)
+        assert req.category == "gas_station"
+        assert req.issued_at == 0.0
+
+    def test_response_rejects_degenerate_regions(self):
+        with pytest.raises(ProtocolError):
+            ShareResponse(0, (Rect(0, 0, 0, 5),), ())
+
+    def test_response_emptiness(self):
+        assert ShareResponse(0, (), ()).is_empty
+        full = ShareResponse(
+            0, (Rect(0, 0, 1, 1),), (POI(0, Point(0.5, 0.5)),)
+        )
+        assert not full.is_empty
+
+
+class TestPeerNetwork:
+    def make(self, positions, tx_range=10.0):
+        net = PeerNetwork(BOUNDS, tx_range)
+        xs = np.array([p[0] for p in positions], dtype=float)
+        ys = np.array([p[1] for p in positions], dtype=float)
+        net.update_positions(xs, ys)
+        return net
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            PeerNetwork(BOUNDS, 0)
+
+    def test_query_before_update_raises(self):
+        net = PeerNetwork(BOUNDS, 5)
+        with pytest.raises(ProtocolError):
+            net.peers_of(0, Point(1, 1))
+
+    def test_peers_within_range(self):
+        net = self.make([(0, 0), (5, 0), (9, 0), (20, 0)], tx_range=10)
+        peers = set(net.peers_of(0, Point(0, 0)).tolist())
+        assert peers == {1, 2}
+
+    def test_self_excluded(self):
+        net = self.make([(0, 0), (1, 1)], tx_range=10)
+        assert 0 not in net.peers_of(0, Point(0, 0)).tolist()
+
+    def test_boundary_distance_included(self):
+        net = self.make([(0, 0), (10, 0)], tx_range=10)
+        assert net.peers_of(0, Point(0, 0)).tolist() == [1]
+
+    def test_traffic_accounting(self):
+        net = self.make([(0, 0), (1, 0), (2, 0)], tx_range=10)
+        net.peers_of(0, Point(0, 0))
+        net.peers_of(1, Point(1, 0))
+        assert net.requests_sent == 2
+        assert net.responses_received == 4
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, (300, 2))
+        net = self.make([tuple(p) for p in pts], tx_range=7.5)
+        for host in (0, 10, 299):
+            center = Point(*pts[host])
+            got = set(net.peers_of(host, center).tolist())
+            d = np.hypot(pts[:, 0] - center.x, pts[:, 1] - center.y)
+            expected = set(np.nonzero(d <= 7.5)[0].tolist()) - {host}
+            assert got == expected
+
+    def test_host_count(self):
+        net = self.make([(0, 0), (1, 1), (2, 2)])
+        assert net.host_count == 3

@@ -1,0 +1,87 @@
+"""Tests for the multi-hop peer-discovery extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry import Point, Rect
+from repro.p2p import PeerNetwork
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def make(positions, tx_range=10.0):
+    net = PeerNetwork(BOUNDS, tx_range)
+    xs = np.array([p[0] for p in positions], dtype=float)
+    ys = np.array([p[1] for p in positions], dtype=float)
+    net.update_positions(xs, ys)
+    return net
+
+
+class TestMultiHop:
+    def test_hop_validation(self):
+        net = make([(0, 0), (5, 0)])
+        with pytest.raises(ProtocolError):
+            net.peers_within_hops(0, Point(0, 0), 0)
+
+    def test_one_hop_equals_peers_of(self):
+        net = make([(0, 0), (5, 0), (9, 0), (25, 0)])
+        direct = set(net.peers_of(0, Point(0, 0)).tolist())
+        one_hop = set(net.peers_within_hops(0, Point(0, 0), 1).tolist())
+        assert direct == one_hop
+
+    def test_chain_reachability(self):
+        # A chain spaced at 8 with range 10: each extra hop adds one.
+        chain = [(i * 8.0, 0.0) for i in range(6)]
+        net = make(chain, tx_range=10.0)
+        reach1 = set(net.peers_within_hops(0, Point(0, 0), 1).tolist())
+        reach2 = set(net.peers_within_hops(0, Point(0, 0), 2).tolist())
+        reach5 = set(net.peers_within_hops(0, Point(0, 0), 5).tolist())
+        assert reach1 == {1}
+        assert reach2 == {1, 2}
+        assert reach5 == {1, 2, 3, 4, 5}
+
+    def test_disconnected_component_unreachable(self):
+        net = make([(0, 0), (5, 0), (60, 60)], tx_range=10.0)
+        reach = set(net.peers_within_hops(0, Point(0, 0), 10).tolist())
+        assert reach == {1}
+
+    def test_querier_never_included(self):
+        net = make([(0, 0), (5, 0), (10, 0)], tx_range=10.0)
+        for hops in (1, 2, 3):
+            assert 0 not in net.peers_within_hops(0, Point(0, 0), hops)
+
+    def test_multi_hop_superset_of_single(self):
+        rng = np.random.default_rng(0)
+        pts = [tuple(p) for p in rng.uniform(0, 50, (80, 2))]
+        net = make(pts, tx_range=6.0)
+        for host in (0, 17, 42):
+            p = Point(*pts[host])
+            one = set(net.peers_within_hops(host, p, 1).tolist())
+            two = set(net.peers_within_hops(host, p, 2).tolist())
+            assert one <= two
+
+
+class TestMultiHopSimulation:
+    def test_two_hops_resolve_at_least_as_much(self):
+        from repro.experiments import Simulation, scaled_parameters
+        from repro.workloads import RIVERSIDE_COUNTY, QueryKind
+
+        # Sparse Riverside benefits most from extra hops.
+        params = scaled_parameters(RIVERSIDE_COUNTY, area_scale=0.05)
+        single = Simulation(params, seed=21, p2p_hops=1).run_workload(
+            QueryKind.KNN, 300, 200
+        )
+        double = Simulation(params, seed=21, p2p_hops=2).run_workload(
+            QueryKind.KNN, 300, 200
+        )
+        assert double.pct_broadcast <= single.pct_broadcast + 3.0
+
+    def test_invalid_hops_rejected(self):
+        from repro.experiments import Simulation, scaled_parameters
+        from repro.workloads import LA_CITY
+        from repro.errors import ExperimentError
+
+        params = scaled_parameters(LA_CITY, area_scale=0.02)
+        with pytest.raises(ExperimentError):
+            Simulation(params, p2p_hops=0)

@@ -1,0 +1,313 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, Interrupt, Timeout
+
+
+class TestClock:
+    def test_time_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Environment(initial_time=42.5).now == 42.5
+
+    def test_run_until_advances_clock_without_events(self):
+        env = Environment()
+        env.run(until=10)
+        assert env.now == 10.0
+
+    def test_run_until_in_the_past_raises(self):
+        env = Environment(initial_time=5)
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+
+class TestTimeout:
+    def test_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_timeout_advances_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(3.5)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [3.5]
+
+    def test_timeouts_fire_in_order_with_fifo_ties(self):
+        env = Environment()
+        log = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            log.append(name)
+
+        env.process(proc(env, "b", 2.0))
+        env.process(proc(env, "a", 1.0))
+        env.process(proc(env, "tie1", 1.0))
+        env.process(proc(env, "tie2", 1.0))
+        env.run()
+        assert log == ["a", "tie1", "tie2", "b"]
+
+    def test_timeout_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1, value="payload")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_run_until_deadline_stops_midway(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            for _ in range(10):
+                yield env.timeout(1)
+                log.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=4.5)
+        assert log == [1, 2, 3, 4]
+        assert env.now == 4.5
+
+
+class TestProcess:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc(env))
+        result = env.run(until=p)
+        assert result == "done"
+        assert env.now == 1.0
+
+    def test_process_waits_on_other_process(self):
+        env = Environment()
+        log = []
+
+        def worker(env):
+            yield env.timeout(5)
+            return 99
+
+        def boss(env):
+            value = yield env.process(worker(env))
+            log.append((env.now, value))
+
+        env.process(boss(env))
+        env.run()
+        assert log == [(5.0, 99)]
+
+    def test_ping_pong_via_events(self):
+        env = Environment()
+        log = []
+        ball = env.event()
+
+        def pinger(env, ball):
+            yield env.timeout(1)
+            ball.succeed("ping")
+
+        def ponger(env, ball):
+            value = yield ball
+            log.append((env.now, value))
+
+        env.process(pinger(env, ball))
+        env.process(ponger(env, ball))
+        env.run()
+        assert log == [(1.0, "ping")]
+
+    def test_yielding_non_event_fails_loudly(self):
+        env = Environment()
+
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_reaches_waiter_via_run_until(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        p = env.process(proc(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=p)
+
+    def test_non_generator_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_processes_share_the_clock(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                order.append((name, env.now))
+
+        env.process(proc(env, "x", [2, 2]))
+        env.process(proc(env, "y", [3]))
+        env.run()
+        assert order == [("x", 2.0), ("y", 3.0), ("x", 4.0)]
+
+
+class TestEvent:
+    def test_double_trigger_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError())
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_unhandled_failed_event_raises_at_step(self):
+        env = Environment()
+        env.event().fail(RuntimeError("lost"))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("handled elsewhere"))
+        ev.defuse()
+        env.run()  # does not raise
+
+    def test_failed_event_throws_into_waiting_process(self):
+        env = Environment()
+        caught = []
+        ev = env.event()
+
+        def proc(env, ev):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc(env, ev))
+        ev.fail(RuntimeError("expected"))
+        env.run()
+        assert caught == ["expected"]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper_early(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(2)
+            victim.interrupt(cause="wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [(2.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_raises(self):
+        env = Environment()
+        errors = []
+
+        def proc(env):
+            try:
+                env.active_process.interrupt()
+            except SimulationError:
+                errors.append(True)
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        env.run()
+        assert errors == [True]
+
+    def test_interrupted_timeout_does_not_fire_later(self):
+        env = Environment()
+        wakes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10)
+                wakes.append("timeout")
+            except Interrupt:
+                wakes.append("interrupt")
+            yield env.timeout(50)
+            wakes.append("second sleep done")
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert wakes == ["interrupt", "second sleep done"]
+        assert env.now == 51.0

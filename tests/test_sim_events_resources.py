@@ -1,0 +1,224 @@
+"""Tests for composite events and shared resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Resource, Store
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(5, value="b")
+            values = yield env.all_of([t1, t2])
+            log.append((env.now, sorted(values.values())))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(5.0, ["a", "b"])]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            value = yield env.all_of([])
+            log.append((env.now, value))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(0.0, {})]
+
+    def test_failure_propagates(self):
+        env = Environment()
+        caught = []
+        bad = env.event()
+
+        def proc(env):
+            try:
+                yield env.all_of([env.timeout(10), bad])
+            except RuntimeError:
+                caught.append(env.now)
+
+        env.process(proc(env))
+        bad.fail(RuntimeError("child failed"))
+        env.run()
+        assert caught == [0.0]
+
+    def test_mixed_environments_raise(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            fast = env.timeout(1, value="fast")
+            slow = env.timeout(9, value="slow")
+            values = yield env.any_of([fast, slow])
+            log.append((env.now, list(values.values())))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(1.0, ["fast"])]
+
+    def test_loser_timeout_still_fires_harmlessly(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.any_of([env.timeout(1), env.timeout(2)])
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 2.0  # queue drains fully without errors
+
+    def test_already_triggered_child(self):
+        env = Environment()
+        log = []
+        pre = env.event()
+        pre.succeed("early")
+        env.run(until=0)  # process the pre-triggered event
+
+        def proc(env):
+            values = yield AnyOf(env, [pre, env.timeout(10)])
+            log.append(list(values.values()))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [["early"]]
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_release_without_hold_raises(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment()).release()
+
+    def test_mutual_exclusion_and_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, res, name, hold):
+            yield res.request()
+            log.append((f"{name}+", env.now))
+            yield env.timeout(hold)
+            log.append((f"{name}-", env.now))
+            res.release()
+
+        env.process(user(env, res, "a", 3))
+        env.process(user(env, res, "b", 2))
+        env.process(user(env, res, "c", 1))
+        env.run()
+        assert log == [
+            ("a+", 0.0),
+            ("a-", 3.0),
+            ("b+", 3.0),
+            ("b-", 5.0),
+            ("c+", 5.0),
+            ("c-", 6.0),
+        ]
+
+    def test_parallel_slots(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        done = []
+
+        def user(env, res, name):
+            yield res.request()
+            yield env.timeout(4)
+            res.release()
+            done.append((name, env.now))
+
+        for name in ("a", "b", "c"):
+            env.process(user(env, res, name))
+        env.run()
+        assert done == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+    def test_queue_length_tracking(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+
+class TestStore:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for i in range(3):
+                yield env.timeout(1)
+                store.put(i)
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        log = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            log.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(7)
+            store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert log == [("late", 7.0)]
+
+    def test_bounded_store_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("first")
+            log.append(("put first", env.now))
+            yield store.put("second")
+            log.append(("put second", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(5)
+            item = yield store.get()
+            log.append((f"got {item}", env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert ("put first", 0.0) in log
+        assert ("put second", 5.0) in log
+        assert ("got first", 5.0) in log
+        assert len(store) == 1  # "second" still buffered

@@ -11,11 +11,18 @@ variable:
 
 Every figure benchmark prints its panels as ASCII tables (run pytest
 with ``-s`` to see them live) and writes them under
-``benchmarks/results/`` regardless.
+``benchmarks/results/`` regardless — as ``<slug>.txt`` for humans and,
+when a payload is supplied, as ``<slug>.json`` for machines (series
+values plus per-point simulation wall-clock times).
+
+``REPRO_BENCH_WORKERS`` sets the sweep-runner process count (default:
+one per CPU); the results are identical for every worker count because
+the per-point seeds are fixed up-front.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -59,11 +66,45 @@ def profile() -> BenchProfile:
     return PROFILES[name]
 
 
-def emit(title: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+def workers() -> int:
+    """Sweep-runner process count (``REPRO_BENCH_WORKERS``, default: CPUs)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if raw:
+        count = int(raw)
+        if count < 1:
+            raise ValueError(f"REPRO_BENCH_WORKERS must be >= 1, got {count}")
+        return count
+    return os.cpu_count() or 1
+
+
+def series_payload(panels) -> list[dict]:
+    """JSON-able view of a list of SweepSeries panels."""
+    return [
+        {
+            "region": panel.region,
+            "x_label": panel.x_label,
+            "xs": panel.xs,
+            "series": panel.series,
+            "wall_clock_s": panel.wall_clock_s,
+        }
+        for panel in panels
+    ]
+
+
+def emit(title: str, text: str, payload: dict | None = None) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    ``payload`` additionally writes a machine-readable ``<slug>.json``
+    next to the human-readable ``<slug>.txt``.
+    """
     banner = f"\n===== {title} [{profile().name} profile] ====="
     print(banner)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = title.lower().replace(" ", "_").replace("/", "-")
     (RESULTS_DIR / f"{slug}.txt").write_text(banner + "\n" + text + "\n")
+    if payload is not None:
+        record = {"title": title, "profile": profile().name, **payload}
+        (RESULTS_DIR / f"{slug}.json").write_text(
+            json.dumps(record, indent=2) + "\n"
+        )

@@ -1,21 +1,26 @@
 """Micro-benchmarks of the core primitives.
 
 These are genuine pytest-benchmark timings (many rounds) of the hot
-paths the simulator leans on: MVR merging, NNV, Lemma 3.2 areas,
-Hilbert transforms, and grid neighbour queries.  They guard against
-performance regressions in the substrate.
+paths the simulator leans on: MVR merging (cold and memoised), NNV
+(vectorised and the scalar reference), Lemma 3.2 areas, Hilbert
+transforms (scalar and batch), and grid neighbour queries.  They guard
+against performance regressions in the substrate; the memoised /
+vectorised variants exist to show the speedup over their cold / scalar
+counterparts.
 """
 
 import numpy as np
 
-from repro.core import nnv, sbnn
+from repro.core import MVRMemo, nnv, nnv_scalar, sbnn
 from repro.geometry import (
     Circle,
     Point,
     Rect,
     RectUnion,
     hilbert_d_to_xy,
+    hilbert_d_to_xy_batch,
     hilbert_xy_to_d,
+    hilbert_xy_to_d_batch,
 )
 from repro.index import UniformGrid
 from repro.p2p import ShareResponse
@@ -32,7 +37,9 @@ def make_responses(n_peers=12, seed=0):
         x1, y1 = rng.uniform(6, 12, 2)
         vr = Rect(x1, y1, x1 + rng.uniform(1, 3), y1 + rng.uniform(1, 3))
         inside = tuple(p for p in pois if vr.contains_point(p.location))
-        responses.append(ShareResponse(peer, (vr,), inside))
+        # Generation stamps make the responses memoisable, as the
+        # simulator's share path produces them.
+        responses.append(ShareResponse(peer, (vr,), inside, generation=peer))
     return responses
 
 
@@ -41,6 +48,15 @@ def test_rect_union_merge(benchmark):
     rects = [r for resp in responses for r in resp.regions]
     region = benchmark(RectUnion, rects)
     assert not region.is_empty
+
+
+def test_rect_union_memo_hit(benchmark):
+    """The cache-hit path: unchanged peer generations skip the merge."""
+    responses = make_responses()
+    memo = MVRMemo()
+    memo.merged(responses)  # prime
+    region = benchmark(memo.merged, responses)
+    assert not region.is_empty and memo.hits > 0
 
 
 def test_boundary_distance(benchmark):
@@ -55,7 +71,28 @@ def test_boundary_distance(benchmark):
 def test_nnv_throughput(benchmark):
     responses = make_responses()
     q = responses[0].regions[0].center
+    memo = MVRMemo()
+
+    def run():
+        return nnv(q, responses, 5, mvr=memo.merged(responses))
+
+    heap, _ = benchmark(run)
+    assert len(heap) > 0
+
+
+def test_nnv_cold_throughput(benchmark):
+    """Vectorised NNV rebuilding the MVR every call (no memo)."""
+    responses = make_responses()
+    q = responses[0].regions[0].center
     heap, _ = benchmark(nnv, q, responses, 5)
+    assert len(heap) > 0
+
+
+def test_nnv_scalar_reference(benchmark):
+    """The pure-Python reference path the vectorised kernel replaced."""
+    responses = make_responses()
+    q = responses[0].regions[0].center
+    heap, _ = benchmark(nnv_scalar, q, responses, 5)
     assert len(heap) > 0
 
 
@@ -85,6 +122,28 @@ def test_hilbert_roundtrip(benchmark):
         return total
 
     assert benchmark(run) > 0
+
+
+def test_hilbert_batch_roundtrip(benchmark):
+    ds = np.arange(0, 4096, 7, dtype=np.int64)
+
+    def run():
+        xs, ys = hilbert_d_to_xy_batch(6, ds)
+        return hilbert_xy_to_d_batch(6, xs, ys)
+
+    out = benchmark(run)
+    assert np.array_equal(out, ds)
+
+
+def test_contains_points_batch(benchmark):
+    region = RectUnion(
+        [r for resp in make_responses() for r in resp.regions]
+    )
+    rng = np.random.default_rng(2)
+    xs = rng.uniform(0, 20, 4096)
+    ys = rng.uniform(0, 20, 4096)
+    mask = benchmark(region.contains_points, xs, ys)
+    assert mask.any() and not mask.all()
 
 
 def test_grid_disc_query(benchmark):

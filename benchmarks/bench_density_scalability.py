@@ -4,30 +4,74 @@ The paper closes: "the higher the mobile peer density, the more
 queries can be answered by peers", and names multi-hop sharing as
 future work.  This bench sweeps host density (fractions of the LA
 fleet) and compares one- vs two-hop sharing in the sparse regime.
+
+All five simulation points are independent, so they run as one
+:class:`SweepRunner` batch (the seeds match the historical serial
+loop, so the numbers are unchanged).
 """
 
-from repro.experiments import Simulation, format_table, scaled_parameters
+from repro.experiments import (
+    SweepPoint,
+    SweepRunner,
+    format_table,
+    scaled_parameters,
+)
 from repro.workloads import LA_CITY, RIVERSIDE_COUNTY, QueryKind
 
-from _util import emit, profile
+from _util import emit, profile, workers
 
 DENSITY_FRACTIONS = (0.25, 0.5, 1.0)
+HOPS = (1, 2)
 
 
-def run():
-    p = profile()
-    rows = []
-    shares = []
-    for fraction in DENSITY_FRACTIONS:
+def _points(p):
+    points = []
+    for index, fraction in enumerate(DENSITY_FRACTIONS):
         base = LA_CITY.replace(
             mh_number=round(LA_CITY.mh_number * fraction),
             query_rate_per_min=LA_CITY.query_rate_per_min * fraction,
         )
-        params = scaled_parameters(base, area_scale=p.area_scale)
-        sim = Simulation(params, seed=6)
-        collector = sim.run_workload(
-            QueryKind.KNN, p.warmup_queries, p.measure_queries
+        points.append(
+            SweepPoint(
+                index=index,
+                base=base,
+                kind=QueryKind.KNN,
+                overrides={},
+                seed=6,
+                area_scale=p.area_scale,
+                warmup_queries=p.warmup_queries,
+                measure_queries=p.measure_queries,
+            )
         )
+    for offset, hops in enumerate(HOPS):
+        points.append(
+            SweepPoint(
+                index=len(DENSITY_FRACTIONS) + offset,
+                base=RIVERSIDE_COUNTY,
+                kind=QueryKind.KNN,
+                overrides={},
+                seed=7,
+                area_scale=p.area_scale,
+                warmup_queries=p.warmup_queries,
+                measure_queries=p.measure_queries,
+                sim_kwargs={"p2p_hops": hops},
+            )
+        )
+    return points
+
+
+def run():
+    p = profile()
+    results = SweepRunner(max_workers=workers()).run_points(_points(p))
+    density_results = results[: len(DENSITY_FRACTIONS)]
+    hop_results = results[len(DENSITY_FRACTIONS) :]
+
+    rows = []
+    shares = []
+    density_records = []
+    for fraction, result in zip(DENSITY_FRACTIONS, density_results):
+        params = scaled_parameters(result.point.base, area_scale=p.area_scale)
+        collector = result.collector
         resolved = collector.pct_verified + collector.pct_approximate
         shares.append(resolved)
         rows.append(
@@ -39,20 +83,35 @@ def run():
                 round(collector.pct_broadcast, 1),
             ]
         )
+        density_records.append(
+            {
+                "fraction": fraction,
+                "mh_density": params.mh_density,
+                "mean_peer_count": collector.mean_peer_count(),
+                "peer_resolved_pct": resolved,
+                "broadcast_pct": collector.pct_broadcast,
+                "wall_clock_s": result.wall_clock_s,
+            }
+        )
 
     # Future work: two-hop sharing in the sparse Riverside regime.
     hop_rows = []
     hop_shares = {}
-    riverside = scaled_parameters(RIVERSIDE_COUNTY, area_scale=p.area_scale)
-    for hops in (1, 2):
-        sim = Simulation(riverside, seed=7, p2p_hops=hops)
-        collector = sim.run_workload(
-            QueryKind.KNN, p.warmup_queries, p.measure_queries
-        )
+    hop_records = []
+    for hops, result in zip(HOPS, hop_results):
+        collector = result.collector
         resolved = collector.pct_verified + collector.pct_approximate
         hop_shares[hops] = resolved
         hop_rows.append(
             [hops, round(resolved, 1), round(collector.pct_broadcast, 1)]
+        )
+        hop_records.append(
+            {
+                "hops": hops,
+                "peer_resolved_pct": resolved,
+                "broadcast_pct": collector.pct_broadcast,
+                "wall_clock_s": result.wall_clock_s,
+            }
         )
 
     table = format_table(
@@ -65,12 +124,15 @@ def run():
         hop_rows,
         title="Future work: multi-hop sharing (Riverside)",
     )
-    return shares, hop_shares, table
+    payload = {"density": density_records, "multihop": hop_records}
+    return shares, hop_shares, table, payload
 
 
 def test_density_and_multihop_scalability(benchmark):
-    shares, hop_shares, table = benchmark.pedantic(run, rounds=1, iterations=1)
-    emit("Density and multihop scalability", table)
+    shares, hop_shares, table, payload = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit("Density and multihop scalability", table, payload)
 
     # Conclusion claim: peer-resolved share grows with host density.
     assert shares == sorted(shares)

@@ -10,7 +10,7 @@ broadcast-dominated.
 
 from repro.experiments import format_series, run_knn_txrange
 
-from _util import emit, profile
+from _util import emit, profile, series_payload, workers
 
 TX_VALUES = (10, 50, 100, 200)
 
@@ -23,13 +23,14 @@ def run():
         warmup_queries=p.warmup_queries,
         measure_queries=p.measure_queries,
         seed=10,
+        max_workers=workers(),
     )
 
 
 def test_fig10_knn_vs_transmission_range(benchmark):
     panels = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(format_series(panel) for panel in panels)
-    emit("Figure 10 kNN vs transmission range", text)
+    emit("Figure 10 kNN vs transmission range", text, {"panels": series_payload(panels)})
 
     la, suburbia, riverside = panels
     la_sbnn = la.series["Solved by SBNN"]

@@ -9,7 +9,7 @@ already much higher).
 
 from repro.experiments import format_series, run_knn_k
 
-from _util import emit, profile
+from _util import emit, profile, series_payload, workers
 
 K_VALUES = (3, 7, 11, 15)
 
@@ -22,13 +22,14 @@ def run():
         warmup_queries=p.warmup_queries,
         measure_queries=p.measure_queries,
         seed=12,
+        max_workers=workers(),
     )
 
 
 def test_fig12_knn_vs_k(benchmark):
     panels = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(format_series(panel) for panel in panels)
-    emit("Figure 12 kNN vs k", text)
+    emit("Figure 12 kNN vs k", text, {"panels": series_payload(panels)})
 
     la, suburbia, riverside = panels
 

@@ -8,7 +8,7 @@ with the density ordering LA > Suburbia > Riverside.
 
 from repro.experiments import format_series, run_wq_txrange
 
-from _util import emit, profile
+from _util import emit, profile, series_payload, workers
 
 TX_VALUES = (10, 50, 100, 200)
 
@@ -21,13 +21,14 @@ def run():
         warmup_queries=p.wq_warmup_queries,
         measure_queries=p.measure_queries,
         seed=13,
+        max_workers=workers(),
     )
 
 
 def test_fig13_window_vs_transmission_range(benchmark):
     panels = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(format_series(panel) for panel in panels)
-    emit("Figure 13 window vs transmission range", text)
+    emit("Figure 13 window vs transmission range", text, {"panels": series_payload(panels)})
 
     la, suburbia, riverside = panels
 

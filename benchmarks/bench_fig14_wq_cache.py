@@ -8,7 +8,7 @@ latency.
 
 from repro.experiments import format_series, run_wq_cache
 
-from _util import emit, profile
+from _util import emit, profile, series_payload, workers
 
 CACHE_VALUES = (6, 14, 22, 30)
 
@@ -21,13 +21,14 @@ def run():
         warmup_queries=p.wq_warmup_queries,
         measure_queries=p.measure_queries,
         seed=14,
+        max_workers=workers(),
     )
 
 
 def test_fig14_window_vs_cache_capacity(benchmark):
     panels = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(format_series(panel) for panel in panels)
-    emit("Figure 14 window vs cache capacity", text)
+    emit("Figure 14 window vs cache capacity", text, {"panels": series_payload(panels)})
 
     la, suburbia, riverside = panels
 

@@ -15,7 +15,7 @@ claim — small windows are majority-resolved by sharing in dense areas
 
 from repro.experiments import format_series, run_wq_size
 
-from _util import emit, profile
+from _util import emit, profile, series_payload, workers
 
 SIZE_VALUES = (1, 3, 5)
 
@@ -28,13 +28,14 @@ def run():
         warmup_queries=p.wq_warmup_queries,
         measure_queries=p.measure_queries,
         seed=15,
+        max_workers=workers(),
     )
 
 
 def test_fig15_window_vs_window_size(benchmark):
     panels = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(format_series(panel) for panel in panels)
-    emit("Figure 15 window vs window size", text)
+    emit("Figure 15 window vs window size", text, {"panels": series_payload(panels)})
 
     la, suburbia, riverside = panels
 

@@ -67,6 +67,10 @@ class POICache:
         self.policy = policy if policy is not None else DirectionDistancePolicy()
         self._items: dict[int, CacheItem] = {}
         self._regions: list[VerifiedRegion] = []
+        # Monotone content stamp: bumped whenever the POI set or the
+        # verified regions change, so share responses and merged MVRs
+        # can be memoised on (host, generation) and stay sound.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -102,12 +106,17 @@ class POICache:
         contract; capacity pressure is resolved here by policy-ranked
         eviction with region shrinking.
         """
+        changed = False
         for poi in pois:
             if poi.poi_id in self._items:
                 self._items[poi.poi_id].last_used = now
             else:
                 self._items[poi.poi_id] = CacheItem(poi, now, now)
+                changed = True
+        if changed:
+            self.generation += 1
         if not region.is_degenerate():
+            self.generation += 1
             self._regions.append(VerifiedRegion(region, now))
             self._coalesce_regions()
             while len(self._regions) > self.max_regions:
@@ -170,6 +179,7 @@ class POICache:
         """Remove one POI, shrinking every region that covers it."""
         if poi.poi_id not in self._items:
             raise CacheError(f"evicting uncached POI {poi.poi_id}")
+        self.generation += 1
         del self._items[poi.poi_id]
         updated: list[VerifiedRegion] = []
         for vr in self._regions:

@@ -14,7 +14,9 @@ see :mod:`repro.experiments.export`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Callable, Sequence
 
 from .experiments import (
@@ -52,6 +54,17 @@ REGIONS = {
     "riverside": RIVERSIDE_COUNTY,
 }
 
+# Two sweep values per figure: enough to see the trend direction while
+# keeping ``bench-quick`` well under two minutes on one core.
+QUICK_SWEEPS: dict[str, tuple[float, ...]] = {
+    "fig10": (50, 200),
+    "fig11": (6, 30),
+    "fig12": (3, 15),
+    "fig13": (50, 200),
+    "fig14": (6, 30),
+    "fig15": (1, 5),
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -75,6 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("params", help="print the Table 3 parameter sets")
+
+    bench = sub.add_parser(
+        "bench-quick",
+        help="tiny-parameter figure sweeps with machine-readable output",
+    )
+    bench.add_argument(
+        "--figures",
+        nargs="+",
+        choices=sorted(FIGURES),
+        default=sorted(FIGURES),
+        help="subset of figures to run (default: all six)",
+    )
+    bench.add_argument("--scale", type=float, default=0.02)
+    bench.add_argument("--warmup", type=int, default=150)
+    bench.add_argument("--measure", type=int, default=100)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep-runner process count (1 = serial in-process)",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON document instead of ASCII tables",
+    )
+    bench.add_argument("--out", default=None, help="optional JSON output path")
     return parser
 
 
@@ -110,6 +151,62 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _panels_payload(panels) -> list[dict]:
+    return [
+        {
+            "region": panel.region,
+            "x_label": panel.x_label,
+            "xs": panel.xs,
+            "series": panel.series,
+            "wall_clock_s": panel.wall_clock_s,
+        }
+        for panel in panels
+    ]
+
+
+def cmd_bench_quick(args: argparse.Namespace) -> int:
+    report: dict = {
+        "parameters": {
+            "area_scale": args.scale,
+            "warmup_queries": args.warmup,
+            "measure_queries": args.measure,
+            "seed": args.seed,
+            "max_workers": args.workers,
+        },
+        "figures": {},
+    }
+    start = time.perf_counter()
+    for name in args.figures:
+        fig_start = time.perf_counter()
+        panels = FIGURES[name](
+            values=QUICK_SWEEPS[name],
+            area_scale=args.scale,
+            warmup_queries=args.warmup,
+            measure_queries=args.measure,
+            seed=args.seed,
+            max_workers=args.workers,
+        )
+        report["figures"][name] = {
+            "wall_clock_s": time.perf_counter() - fig_start,
+            "panels": _panels_payload(panels),
+        }
+        if not args.json:
+            print(f"--- {name} ---")
+            for panel in panels:
+                print(format_series(panel))
+                print()
+    report["total_wall_clock_s"] = time.perf_counter() - start
+    document = json.dumps(report, indent=2)
+    if args.json:
+        print(document)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(document + "\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_params(args: argparse.Namespace) -> int:
     for region in ALL_REGIONS:
         print(f"{region.name}: {region.mh_number} hosts,"
@@ -122,7 +219,12 @@ def cmd_params(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"figure": cmd_figure, "query": cmd_query, "params": cmd_params}
+    handlers = {
+        "figure": cmd_figure,
+        "query": cmd_query,
+        "params": cmd_params,
+        "bench-quick": cmd_bench_quick,
+    }
     return handlers[args.command](args)
 
 

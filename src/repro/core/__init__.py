@@ -16,13 +16,20 @@ from .approx import (
 )
 from .filtering import SearchBounds, search_bounds
 from .heap import HeapEntry, HeapState, ResultHeap
-from .nnv import collect_candidates, merge_verified_regions, nnv
+from .nnv import (
+    MVRMemo,
+    collect_candidates,
+    merge_verified_regions,
+    nnv,
+    nnv_scalar,
+)
 from .sbnn import Resolution, SBNNOutcome, sbnn
 from .sbwq import SBWQOutcome, sbwq
 
 __all__ = [
     "HeapEntry",
     "HeapState",
+    "MVRMemo",
     "Resolution",
     "ResultHeap",
     "SBNNOutcome",
@@ -34,6 +41,7 @@ __all__ = [
     "expected_detour",
     "merge_verified_regions",
     "nnv",
+    "nnv_scalar",
     "sbnn",
     "sbwq",
     "search_bounds",

@@ -5,11 +5,26 @@ regions into the MVR, sorts the received POIs by distance, and marks a
 POI verified when Lemma 3.1 applies: the query point lies inside the
 MVR and the POI is no farther than the nearest MVR boundary edge
 ``e_s`` (so the whole disc out to the POI is verified territory).
+
+Two performance layers sit under the algorithm:
+
+* the candidate pipeline is vectorised — one :func:`numpy.hypot` over
+  the coordinate arrays of all peer POIs (cached per immutable
+  response) replaces the per-POI Python loop; ``nnv_scalar`` keeps the
+  loop-based reference implementation, asserted byte-identical in the
+  equivalence tests;
+* :class:`MVRMemo` memoises the merged ``RectUnion`` keyed on the
+  tuple of contributing ``(peer_id, generation)`` pairs, so a query
+  against unchanged peer caches skips the slab decomposition (and its
+  cached boundary segments survive with it).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Sequence
+
+import numpy as np
 
 from ..geometry import Point, RectUnion
 from ..model import POI
@@ -27,12 +42,50 @@ def merge_verified_regions(responses: Sequence[ShareResponse]) -> RectUnion:
     return RectUnion(rects)
 
 
+class MVRMemo:
+    """Bounded memo of merged verified regions.
+
+    A set of share responses whose ``(peer_id, generation)`` stamps all
+    match a previous merge is guaranteed to carry the same regions, so
+    the previously built :class:`RectUnion` (slab decomposition,
+    cached boundary) is returned as-is.  Responses without a stamp
+    (``generation < 0``) bypass the memo.  Own one memo per querying
+    host — generations are only unique per cache, not globally.
+    """
+
+    __slots__ = ("maxsize", "_memo", "hits", "misses")
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._memo: OrderedDict[tuple, RectUnion] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def merged(self, responses: Sequence[ShareResponse]) -> RectUnion:
+        key = tuple((r.peer_id, r.generation) for r in responses)
+        if any(generation < 0 for _, generation in key):
+            return merge_verified_regions(responses)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._memo.move_to_end(key)
+            return cached
+        self.misses += 1
+        mvr = merge_verified_regions(responses)
+        self._memo[key] = mvr
+        while len(self._memo) > self.maxsize:
+            self._memo.popitem(last=False)
+        return mvr
+
+
 def collect_candidates(
     responses: Sequence[ShareResponse], mvr: RectUnion
 ) -> list[POI]:
     """The candidate set ``O``: received POIs that lie inside the MVR.
 
-    Duplicates (the same POI from several peers) collapse to one.
+    Duplicates (the same POI from several peers) collapse to one; when
+    copies of an id disagree on containment (stale peer data), the
+    first *contained* copy wins, as in the scalar reference.
     """
     by_id: dict[int, POI] = {}
     for response in responses:
@@ -53,13 +106,71 @@ def nnv(
     Returns the heap and the MVR (callers reuse the MVR for the
     approximate-answer probabilities and for SBWQ).  When the query
     point is outside the MVR, Lemma 3.1 cannot apply and every
-    candidate enters unverified.
+    candidate enters unverified.  Pass a memoised ``mvr`` (see
+    :class:`MVRMemo`) to skip the merge entirely.
+
+    The candidate pipeline is one batch computation: concatenate the
+    per-response coordinate arrays, mask to the MVR, deduplicate ids by
+    first contained occurrence (the scalar dict semantics), one
+    ``np.hypot`` over the survivors, one lexsort — only the top ``k``
+    POI objects are ever touched in Python.
+    """
+    if mvr is None:
+        mvr = merge_verified_regions(responses)
+    heap = ResultHeap(k)
+    pieces = [r for r in responses if r.pois]
+    if not pieces:
+        return heap, mvr
+    arrays = [r.poi_arrays() for r in pieces]
+    ids = np.concatenate([a[0] for a in arrays])
+    xs = np.concatenate([a[1] for a in arrays])
+    ys = np.concatenate([a[2] for a in arrays])
+    kept = np.flatnonzero(mvr.contains_points(xs, ys))
+    if not kept.size:
+        return heap, mvr
+    # np.unique keeps the first occurrence of each id in array order —
+    # the same copy the scalar dict insertion keeps.
+    _, first = np.unique(ids[kept], return_index=True)
+    first.sort()
+    sel = kept[first]
+    distances = np.hypot(xs[sel] - query.x, ys[sel] - query.y)
+    order = np.lexsort((ids[sel], distances))[: min(k, sel.size)]
+    if mvr.is_empty or not mvr.contains_point(query):
+        boundary_distance = -np.inf
+    else:
+        boundary_distance = mvr.distance_to_boundary(query)
+    offsets = np.cumsum([0] + [len(r.pois) for r in pieces])
+    for position in order:
+        flat = int(sel[position])
+        piece = int(np.searchsorted(offsets, flat, side="right")) - 1
+        poi = pieces[piece].pois[flat - int(offsets[piece])]
+        distance = float(distances[position])
+        heap.add(HeapEntry(poi, distance, distance <= boundary_distance))
+    return heap, mvr
+
+
+def nnv_scalar(
+    query: Point,
+    responses: Sequence[ShareResponse],
+    k: int,
+    mvr: RectUnion | None = None,
+) -> tuple[ResultHeap, RectUnion]:
+    """Loop-based reference implementation of :func:`nnv`.
+
+    Kept for the equivalence tests (and as readable documentation of
+    the algorithm): one POI at a time, same ``hypot`` kernel, so the
+    vectorised path must reproduce it byte for byte.
     """
     if mvr is None:
         mvr = merge_verified_regions(responses)
     heap = ResultHeap(k)
     candidates = collect_candidates(responses, mvr)
-    candidates.sort(key=lambda poi: (poi.distance_to(query), poi.poi_id))
+    candidates.sort(
+        key=lambda poi: (
+            float(np.hypot(poi.x - query.x, poi.y - query.y)),
+            poi.poi_id,
+        )
+    )
     if mvr.is_empty or not mvr.contains_point(query):
         boundary_distance = None
     else:
@@ -67,7 +178,7 @@ def nnv(
     for poi in candidates:
         if heap.is_full:
             break
-        distance = poi.distance_to(query)
+        distance = float(np.hypot(poi.x - query.x, poi.y - query.y))
         verified = (
             boundary_distance is not None and distance <= boundary_distance
         )

@@ -63,13 +63,19 @@ def sbnn(
     poi_density: float,
     accept_approximate: bool = True,
     min_correctness: float = 0.5,
+    mvr: RectUnion | None = None,
 ) -> SBNNOutcome:
-    """Algorithm 2 (SBNN), up to the broadcast-channel hand-off."""
+    """Algorithm 2 (SBNN), up to the broadcast-channel hand-off.
+
+    ``mvr`` optionally supplies a pre-merged (memoised) verified
+    region so repeated queries against unchanged peer caches skip the
+    MapOverlay step.
+    """
     if not (0.0 <= min_correctness <= 1.0):
         raise ReproError(
             f"min_correctness must be in [0, 1], got {min_correctness}"
         )
-    heap, mvr = nnv(query, responses, k)
+    heap, mvr = nnv(query, responses, k, mvr=mvr)
     # The Lemma 3.2 annotations cost a disc/region area computation per
     # unverified entry; they only matter when they can decide the
     # approximate path (heap full, approximation accepted) — skip the

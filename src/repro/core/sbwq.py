@@ -42,14 +42,20 @@ class SBWQOutcome:
         return sum(r.area for r in self.remainder_windows)
 
 
-def sbwq(window: Rect, responses: Sequence[ShareResponse]) -> SBWQOutcome:
+def sbwq(
+    window: Rect,
+    responses: Sequence[ShareResponse],
+    mvr: RectUnion | None = None,
+) -> SBWQOutcome:
     """Algorithm 3 (SBWQ), up to the broadcast-channel hand-off.
 
     The returned ``verified_pois`` are the peer POIs inside both the
     window and the MVR — exactly the part of the answer the peers can
     vouch for.  ``remainder_windows`` is empty iff the query resolved.
+    ``mvr`` optionally supplies a pre-merged (memoised) verified region.
     """
-    mvr = merge_verified_regions(responses)
+    if mvr is None:
+        mvr = merge_verified_regions(responses)
     seen: dict[int, POI] = {}
     for response in responses:
         for poi in response.pois:

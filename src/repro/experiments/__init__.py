@@ -2,6 +2,7 @@
 
 from .host import HostQueryResult, MobileHost
 from .metrics import MetricsCollector, QueryRecord
+from .parallel import PointResult, SweepPoint, SweepRunner, assemble_series
 from .reporting import format_series, format_table
 from .runners import (
     KNN_SERIES,
@@ -27,11 +28,15 @@ __all__ = [
     "MetricsCollector",
     "MobileHost",
     "PacketEvent",
+    "PointResult",
     "QueryRecord",
     "Simulation",
     "SteadyStateReport",
+    "SweepPoint",
+    "SweepRunner",
     "SweepSeries",
     "WQ_SERIES",
+    "assemble_series",
     "format_series",
     "format_table",
     "run_knn_cache",

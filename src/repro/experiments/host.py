@@ -20,7 +20,7 @@ from typing import Sequence
 
 from ..broadcast import OnAirClient
 from ..cache import POICache
-from ..core import Resolution, sbnn, sbwq
+from ..core import MVRMemo, Resolution, sbnn, sbwq
 from ..core.heap import HeapEntry
 from ..geometry import Circle, Point, Rect, RectUnion
 from ..model import POI
@@ -69,14 +69,32 @@ class MobileHost:
     def __init__(self, host_id: int, cache: POICache):
         self.host_id = host_id
         self.cache = cache
+        # Memoised share response (rebuilt only when the cache content
+        # generation moves) and merged-MVR memo for this host's queries.
+        self._share_generation: int | None = None
+        self._share_memo: ShareResponse | None = None
+        self._mvr_memo = MVRMemo()
 
     # ------------------------------------------------------------------
     def share_response(self, now: float) -> ShareResponse | None:
-        """Answer a peer's share request; ``None`` when nothing cached."""
-        regions, pois = self.cache.share(now)
-        if not regions and not pois:
-            return None
-        return ShareResponse(self.host_id, tuple(regions), tuple(pois))
+        """Answer a peer's share request; ``None`` when nothing cached.
+
+        The response is immutable and stamped with the cache's content
+        generation, so it is built once per generation and handed out
+        as-is until the cache next changes.
+        """
+        generation = self.cache.generation
+        if generation != self._share_generation:
+            regions, pois = self.cache.share(now)
+            self._share_memo = (
+                None
+                if not regions and not pois
+                else ShareResponse(
+                    self.host_id, tuple(regions), tuple(pois), generation
+                )
+            )
+            self._share_generation = generation
+        return self._share_memo
 
     # ------------------------------------------------------------------
     def execute_knn(
@@ -101,6 +119,7 @@ class MobileHost:
             poi_density,
             accept_approximate=accept_approximate,
             min_correctness=min_correctness,
+            mvr=self._mvr_memo.merged(responses),
         )
         peer_count = sum(
             1 for r in responses if r.peer_id != self.host_id
@@ -220,7 +239,7 @@ class MobileHost:
         p2p_latency: float = 0.05,
     ) -> HostQueryResult:
         """The full SBWQ pipeline for one window query (Algorithm 3)."""
-        outcome = sbwq(window, responses)
+        outcome = sbwq(window, responses, mvr=self._mvr_memo.merged(responses))
         peer_count = sum(
             1 for r in responses if r.peer_id != self.host_id
         )

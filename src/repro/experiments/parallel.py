@@ -1,0 +1,218 @@
+"""Parallel sweep execution: fan independent sweep points across processes.
+
+Every sweep point — one (region, parameter value) cell of a figure
+grid — is an independent :class:`Simulation`, so the grid parallelises
+embarrassingly.  :class:`SweepRunner` derives one seed per point
+up-front (``np.random.SeedSequence.spawn``, indexed by grid position,
+so the assignment never depends on scheduling), fans the points over a
+``ProcessPoolExecutor``, and reassembles the results in grid order.
+The output is therefore deterministic in the worker count: the same
+seeds produce the same collectors whether the points ran serially, in
+four workers, or in any interleaving.
+
+``max_workers=1`` (the default for the legacy
+:func:`repro.experiments.run_sweep` entry point) bypasses the pool
+entirely and runs in-process — no pickling, no subprocess start-up —
+which keeps unit tests and tiny sweeps fast.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..workloads import ALL_REGIONS, ParameterSet, QueryKind, scaled_parameters
+from .metrics import MetricsCollector
+from .runners import KNN_SERIES, WQ_SERIES, SweepSeries
+from .simulator import Simulation
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independently simulable cell of a sweep grid.
+
+    Carries everything a worker process needs: the base region, the
+    parameter override, the derived seed, and the workload budgets.
+    ``index`` is the row-major grid position used to restore order.
+    """
+
+    index: int
+    base: ParameterSet
+    kind: QueryKind
+    overrides: dict
+    seed: int | np.random.SeedSequence
+    area_scale: float = 0.1
+    warmup_queries: int = 2500
+    measure_queries: int = 600
+    sim_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class PointResult:
+    """A finished sweep point: its metrics plus the wall-clock cost."""
+
+    point: SweepPoint
+    collector: MetricsCollector
+    wall_clock_s: float
+
+
+def _execute_point(point: SweepPoint) -> PointResult:
+    """Run one point; module-level so it pickles into worker processes."""
+    start = time.perf_counter()
+    params = scaled_parameters(
+        point.base, area_scale=point.area_scale, **point.overrides
+    )
+    sim = Simulation(params, seed=point.seed, **point.sim_kwargs)
+    collector = sim.run_workload(
+        point.kind, point.warmup_queries, point.measure_queries
+    )
+    return PointResult(point, collector, time.perf_counter() - start)
+
+
+class SweepRunner:
+    """Execute sweep points across worker processes, results in order.
+
+    ``max_workers=None`` sizes the pool to the machine; ``1`` runs
+    serially in-process.  Results always come back ordered by
+    ``SweepPoint.index`` regardless of completion order.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ExperimentError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    def run_points(self, points: Sequence[SweepPoint]) -> list[PointResult]:
+        """Execute the points, returning results in grid order."""
+        points = list(points)
+        if not points:
+            return []
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(points))
+        if workers <= 1:
+            return [_execute_point(p) for p in points]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Executor.map preserves input order, so the grid order
+                # survives any parallel completion order.
+                return list(pool.map(_execute_point, points))
+        except OSError:
+            # Environments that cannot spawn processes (restricted
+            # sandboxes) degrade to the serial path; results are
+            # identical by construction.
+            return [_execute_point(p) for p in points]
+
+    # ------------------------------------------------------------------
+    def run_sweep(
+        self,
+        vary: str,
+        values: Sequence[float],
+        kind: QueryKind,
+        regions: Sequence[ParameterSet] = ALL_REGIONS,
+        *,
+        area_scale: float = 0.1,
+        seed: int = 0,
+        seeds: Sequence[int | np.random.SeedSequence] | None = None,
+        warmup_queries: int = 2500,
+        measure_queries: int = 600,
+        x_label: str | None = None,
+        **sim_kwargs,
+    ) -> list[SweepSeries]:
+        """Figure-style sweep: vary one field over ``regions`` × ``values``.
+
+        By default every point gets a child of
+        ``np.random.SeedSequence(seed)`` spawned up-front by grid index,
+        giving statistically independent streams whose assignment does
+        not depend on worker count.  ``seeds`` pins one explicit seed
+        per point in row-major (region, value) order instead — the
+        legacy entry point uses this to stay bit-compatible with its
+        historical arithmetic derivation.
+        """
+        values = list(values)
+        regions = list(regions)
+        n_points = len(regions) * len(values)
+        if seeds is None:
+            seeds = np.random.SeedSequence(seed).spawn(n_points)
+        else:
+            seeds = list(seeds)
+            if len(seeds) != n_points:
+                raise ExperimentError(
+                    f"need {n_points} seeds (regions x values), "
+                    f"got {len(seeds)}"
+                )
+        points: list[SweepPoint] = []
+        for region_index, base in enumerate(regions):
+            for value_index, value in enumerate(values):
+                index = region_index * len(values) + value_index
+                points.append(
+                    SweepPoint(
+                        index=index,
+                        base=base,
+                        kind=kind,
+                        overrides={vary: value},
+                        seed=seeds[index],
+                        area_scale=area_scale,
+                        warmup_queries=warmup_queries,
+                        measure_queries=measure_queries,
+                        sim_kwargs=dict(sim_kwargs),
+                    )
+                )
+        results = self.run_points(points)
+        return assemble_series(results, regions, values, kind, x_label or vary)
+
+
+def assemble_series(
+    results: Sequence[PointResult],
+    regions: Sequence[ParameterSet],
+    values: Sequence[float],
+    kind: QueryKind,
+    x_label: str,
+) -> list[SweepSeries]:
+    """Fold row-major point results back into per-region figure panels."""
+    if len(results) != len(regions) * len(values):
+        raise ExperimentError(
+            f"expected {len(regions) * len(values)} point results, "
+            f"got {len(results)}"
+        )
+    names = KNN_SERIES if kind is QueryKind.KNN else WQ_SERIES
+    out: list[SweepSeries] = []
+    cursor = iter(results)
+    for base in regions:
+        series: dict[str, list[float]] = {name: [] for name in names}
+        collectors: list[MetricsCollector] = []
+        timings: list[float] = []
+        for _ in values:
+            result = next(cursor)
+            collector = result.collector
+            collectors.append(collector)
+            timings.append(result.wall_clock_s)
+            if kind is QueryKind.KNN:
+                series[KNN_SERIES[0]].append(collector.pct_verified)
+                series[KNN_SERIES[1]].append(collector.pct_approximate)
+                series[KNN_SERIES[2]].append(collector.pct_broadcast)
+            else:
+                # The paper folds approximate answers out of the window
+                # experiments: SBWQ either covers the window or not.
+                series[WQ_SERIES[0]].append(
+                    collector.pct_verified + collector.pct_approximate
+                )
+                series[WQ_SERIES[1]].append(collector.pct_broadcast)
+        out.append(
+            SweepSeries(
+                region=base.name,
+                x_label=x_label,
+                xs=[float(v) for v in values],
+                series=series,
+                collectors=collectors,
+                wall_clock_s=timings,
+            )
+        )
+    return out

@@ -15,14 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..workloads import (
-    ALL_REGIONS,
-    ParameterSet,
-    QueryKind,
-    scaled_parameters,
-)
+from ..workloads import ALL_REGIONS, ParameterSet, QueryKind
 from .metrics import MetricsCollector
-from .simulator import Simulation
 
 KNN_SERIES = ("Solved by SBNN", "Solved by Approximate SBNN", "Solved by Broadcast")
 WQ_SERIES = ("Solved by SBWQ", "Solved by Broadcast")
@@ -30,28 +24,19 @@ WQ_SERIES = ("Solved by SBWQ", "Solved by Broadcast")
 
 @dataclass(slots=True)
 class SweepSeries:
-    """One figure panel: a region's series over the swept parameter."""
+    """One figure panel: a region's series over the swept parameter.
+
+    ``wall_clock_s`` holds the per-point simulation wall-clock times
+    (same order as ``xs``) when the sweep ran through the
+    :class:`~repro.experiments.parallel.SweepRunner`.
+    """
 
     region: str
     x_label: str
     xs: list[float]
     series: dict[str, list[float]]
     collectors: list[MetricsCollector] = field(default_factory=list)
-
-
-def _run_point(
-    base: ParameterSet,
-    kind: QueryKind,
-    area_scale: float,
-    seed: int,
-    warmup_queries: int,
-    measure_queries: int,
-    overrides: dict,
-    sim_kwargs: dict,
-) -> MetricsCollector:
-    params = scaled_parameters(base, area_scale=area_scale, **overrides)
-    sim = Simulation(params, seed=seed, **sim_kwargs)
-    return sim.run_workload(kind, warmup_queries, measure_queries)
+    wall_clock_s: list[float] = field(default_factory=list)
 
 
 def run_sweep(
@@ -64,49 +49,38 @@ def run_sweep(
     warmup_queries: int = 2500,
     measure_queries: int = 600,
     x_label: str | None = None,
+    max_workers: int = 1,
     **sim_kwargs,
 ) -> list[SweepSeries]:
-    """Generic sweep: vary one ParameterSet field, measure resolutions."""
-    results: list[SweepSeries] = []
-    for region_index, base in enumerate(regions):
-        if kind is QueryKind.KNN:
-            series = {name: [] for name in KNN_SERIES}
-        else:
-            series = {name: [] for name in WQ_SERIES}
-        collectors: list[MetricsCollector] = []
-        for value_index, value in enumerate(values):
-            collector = _run_point(
-                base,
-                kind,
-                area_scale,
-                seed + 1000 * region_index + value_index,
-                warmup_queries,
-                measure_queries,
-                {vary: value},
-                sim_kwargs,
-            )
-            collectors.append(collector)
-            if kind is QueryKind.KNN:
-                series[KNN_SERIES[0]].append(collector.pct_verified)
-                series[KNN_SERIES[1]].append(collector.pct_approximate)
-                series[KNN_SERIES[2]].append(collector.pct_broadcast)
-            else:
-                # The paper folds approximate answers out of the window
-                # experiments: SBWQ either covers the window or not.
-                series[WQ_SERIES[0]].append(
-                    collector.pct_verified + collector.pct_approximate
-                )
-                series[WQ_SERIES[1]].append(collector.pct_broadcast)
-        results.append(
-            SweepSeries(
-                region=base.name,
-                x_label=x_label or vary,
-                xs=[float(v) for v in values],
-                series=series,
-                collectors=collectors,
-            )
-        )
-    return results
+    """Generic sweep: vary one ParameterSet field, measure resolutions.
+
+    Delegates to :class:`~repro.experiments.parallel.SweepRunner` with
+    the historical arithmetic seed derivation
+    (``seed + 1000 * region_index + value_index``), so the results are
+    bit-identical to earlier serial versions for every ``max_workers``.
+    """
+    # Imported lazily: parallel.py imports SweepSeries from this module.
+    from .parallel import SweepRunner
+
+    values = list(values)
+    regions = list(regions)
+    seeds = [
+        seed + 1000 * region_index + value_index
+        for region_index in range(len(regions))
+        for value_index in range(len(values))
+    ]
+    return SweepRunner(max_workers=max_workers).run_sweep(
+        vary,
+        values,
+        kind,
+        regions,
+        area_scale=area_scale,
+        seeds=seeds,
+        warmup_queries=warmup_queries,
+        measure_queries=measure_queries,
+        x_label=x_label,
+        **sim_kwargs,
+    )
 
 
 # ----------------------------------------------------------------------

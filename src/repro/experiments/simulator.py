@@ -242,7 +242,9 @@ class Simulation:
         subject to their own capacity and replacement policy.
         """
         position = self.host_position(querier)
-        for pid in self.network.peers_of(querier, position):
+        # Overhearing is passive: no share request goes on the air, so
+        # the neighbourhood lookup must not count as p2p traffic.
+        for pid in self.network.peers_of(querier, position, count_traffic=False):
             pid = int(pid)
             peer_position = self.host_position(pid)
             peer_heading = self.host_heading(pid)

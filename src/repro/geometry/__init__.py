@@ -8,7 +8,13 @@ the paper actually uses: axis-aligned MBRs and discs.
 """
 
 from .circle import Circle, circle_rect_intersection_area
-from .hilbert import HilbertGrid, hilbert_d_to_xy, hilbert_xy_to_d
+from .hilbert import (
+    HilbertGrid,
+    hilbert_d_to_xy,
+    hilbert_d_to_xy_batch,
+    hilbert_xy_to_d,
+    hilbert_xy_to_d_batch,
+)
 from .point import Point, centroid
 from .polygon import Polygon
 from .rect import Rect
@@ -33,7 +39,9 @@ __all__ = [
     "centroid",
     "circle_rect_intersection_area",
     "hilbert_d_to_xy",
+    "hilbert_d_to_xy_batch",
     "hilbert_xy_to_d",
+    "hilbert_xy_to_d_batch",
     "intervals_complement_within",
     "intervals_cover",
     "intervals_difference",

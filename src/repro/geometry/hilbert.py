@@ -13,6 +13,8 @@ cells of an arbitrary bounding rectangle.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import GeometryError
 from .point import Point
 from .rect import Rect
@@ -63,6 +65,66 @@ def hilbert_d_to_xy(order: int, d: int) -> tuple[int, int]:
     return x, y
 
 
+def hilbert_xy_to_d_batch(
+    order: int, xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`hilbert_xy_to_d` over int arrays.
+
+    Runs the same iterative transform with one numpy operation per
+    curve level instead of one Python loop per cell — exact integer
+    arithmetic, bit-identical to the scalar function.
+    """
+    side = 1 << order
+    x = np.asarray(xs, dtype=np.int64).copy()
+    y = np.asarray(ys, dtype=np.int64).copy()
+    if x.shape != y.shape:
+        raise GeometryError("xs and ys must have matching shapes")
+    if x.size and (
+        x.min() < 0 or x.max() >= side or y.min() < 0 or y.max() >= side
+    ):
+        raise GeometryError(f"cell outside a {side}x{side} Hilbert grid")
+    d = np.zeros(x.shape, dtype=np.int64)
+    s = side // 2
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # _rotate, vectorised: flip within the quadrant, then swap axes.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x = np.where(flip, s - 1 - x, x)
+        y = np.where(flip, s - 1 - y, y)
+        x, y = np.where(swap, y, x), np.where(swap, x, y)
+        s //= 2
+    return d
+
+
+def hilbert_d_to_xy_batch(
+    order: int, ds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`hilbert_d_to_xy` over an int array."""
+    side = 1 << order
+    t = np.asarray(ds, dtype=np.int64).copy()
+    if t.size and (t.min() < 0 or t.max() >= side * side):
+        raise GeometryError(f"distance outside a {side}x{side} Hilbert grid")
+    x = np.zeros(t.shape, dtype=np.int64)
+    y = np.zeros(t.shape, dtype=np.int64)
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x = np.where(flip, s - 1 - x, x)
+        y = np.where(flip, s - 1 - y, y)
+        x, y = np.where(swap, y, x), np.where(swap, x, y)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
 class HilbertGrid:
     """A Hilbert curve laid over an arbitrary bounding rectangle.
 
@@ -104,6 +166,14 @@ class HilbertGrid:
         """Hilbert value of the cell containing ``p``."""
         cx, cy = self.cell_of_point(p)
         return hilbert_xy_to_d(self.order, cx, cy)
+
+    def values_of_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Batch :meth:`value_of_point` over coordinate arrays."""
+        cx = ((np.asarray(xs, dtype=np.float64) - self.bounds.x1) / self._cell_w).astype(np.int64)
+        cy = ((np.asarray(ys, dtype=np.float64) - self.bounds.y1) / self._cell_h).astype(np.int64)
+        np.clip(cx, 0, self.side - 1, out=cx)
+        np.clip(cy, 0, self.side - 1, out=cy)
+        return hilbert_xy_to_d_batch(self.order, cx, cy)
 
     def cell_rect(self, cx: int, cy: int) -> Rect:
         """The spatial extent of cell ``(cx, cy)``."""
@@ -163,9 +233,10 @@ class HilbertGrid:
             return []
         cx1, cy1 = self.cell_of_point(Point(clipped.x1, clipped.y1))
         cx2, cy2 = self.cell_of_point(Point(clipped.x2, clipped.y2))
-        values = []
-        for cx in range(cx1, cx2 + 1):
-            for cy in range(cy1, cy2 + 1):
-                values.append(hilbert_xy_to_d(self.order, cx, cy))
+        gx, gy = np.meshgrid(
+            np.arange(cx1, cx2 + 1, dtype=np.int64),
+            np.arange(cy1, cy2 + 1, dtype=np.int64),
+        )
+        values = hilbert_xy_to_d_batch(self.order, gx.ravel(), gy.ravel())
         values.sort()
-        return values
+        return values.tolist()

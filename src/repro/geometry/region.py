@@ -16,8 +16,11 @@ that union exactly with a slab decomposition:
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import GeometryError
 from .circle import Circle, circle_rect_intersection_area
@@ -49,13 +52,18 @@ def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
 
 
 def intervals_cover(intervals: Sequence[Interval], lo: float, hi: float) -> bool:
-    """True when ``[lo, hi]`` lies inside the (merged, sorted) intervals."""
+    """True when ``[lo, hi]`` lies inside the (merged, sorted) intervals.
+
+    Disjoint sorted intervals admit at most one candidate: the last
+    interval starting at or before ``lo``, found by bisection.
+    """
     if hi < lo:
         raise GeometryError("inverted interval in coverage test")
-    for a, b in intervals:
-        if a <= lo and hi <= b:
-            return True
-    return False
+    idx = bisect_right(intervals, (lo, math.inf)) - 1
+    if idx < 0:
+        return False
+    a, b = intervals[idx]
+    return a <= lo and hi <= b
 
 
 def intervals_complement_within(
@@ -104,7 +112,15 @@ class RectUnion:
     rectangles contribute nothing and are dropped.
     """
 
-    __slots__ = ("_rects", "_xs", "_slab_intervals", "_area", "_boundary")
+    __slots__ = (
+        "_rects",
+        "_xs",
+        "_slab_intervals",
+        "_area",
+        "_boundary",
+        "_boundary_arrays",
+        "_rect_arrays",
+    )
 
     def __init__(self, rects: Iterable[Rect] = ()) -> None:
         self._rects: tuple[Rect, ...] = tuple(
@@ -124,6 +140,8 @@ class RectUnion:
             for (xa, xb), iv in zip(zip(xs, xs[1:]), slabs)
         )
         self._boundary: list[Segment] | None = None
+        self._boundary_arrays: tuple[np.ndarray, ...] | None = None
+        self._rect_arrays: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -175,6 +193,42 @@ class RectUnion:
                 if y1 <= p.y <= y2:
                     return True
         return False
+
+    def _rect_coord_arrays(self) -> tuple[np.ndarray, ...]:
+        if self._rect_arrays is None:
+            self._rect_arrays = (
+                np.array([r.x1 for r in self._rects]),
+                np.array([r.y1 for r in self._rects]),
+                np.array([r.x2 for r in self._rects]),
+                np.array([r.y2 for r in self._rects]),
+            )
+        return self._rect_arrays
+
+    def contains_points(self, pxs: np.ndarray, pys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains_point` over coordinate arrays.
+
+        The closed union equals the set-union of the closed input
+        rectangles, so the batch test is one broadcast comparison
+        against the rectangle coordinate arrays — exact agreement with
+        the scalar slab-based predicate on every point, boundaries
+        included.
+        """
+        pxs = np.asarray(pxs, dtype=np.float64)
+        pys = np.asarray(pys, dtype=np.float64)
+        if not self._rects:
+            return np.zeros(pxs.shape, dtype=bool)
+        rx1, ry1, rx2, ry2 = self._rect_coord_arrays()
+        if rx1.size * pxs.size <= 200_000:
+            return (
+                (pxs >= rx1[:, None])
+                & (pxs <= rx2[:, None])
+                & (pys >= ry1[:, None])
+                & (pys <= ry2[:, None])
+            ).any(axis=0)
+        out = np.zeros(pxs.shape, dtype=bool)
+        for x1, y1, x2, y2 in zip(rx1, ry1, rx2, ry2):
+            out |= (pxs >= x1) & (pxs <= x2) & (pys >= y1) & (pys <= y2)
+        return out
 
     def covers_rect(self, window: Rect) -> bool:
         """True when the window lies entirely inside the union.
@@ -285,17 +339,39 @@ class RectUnion:
         self._boundary = segments
         return segments
 
+    def _boundary_coord_arrays(self) -> tuple[np.ndarray, ...]:
+        if self._boundary_arrays is None:
+            segs = self.boundary_segments()
+            ax = np.array([s.a.x for s in segs])
+            ay = np.array([s.a.y for s in segs])
+            dx = np.array([s.b.x for s in segs]) - ax
+            dy = np.array([s.b.y for s in segs]) - ay
+            len_sq = dx * dx + dy * dy
+            # Segment lengths are positive by construction, but a
+            # subnormal slab width can square-underflow to 0.0; the
+            # guard keeps the projection finite (any t in [0, 1] is
+            # correct for a segment that short).
+            self._boundary_arrays = (
+                ax, ay, dx, dy, np.where(len_sq > 0.0, len_sq, 1.0)
+            )
+        return self._boundary_arrays
+
     def distance_to_boundary(self, p: Point) -> float:
         """Distance from ``p`` to the union's boundary (``||q, e_s||``).
 
         For a query point inside the region this is the radius of the
         largest disc around ``p`` contained in the region — exactly the
-        verification bound of Lemma 3.1.
+        verification bound of Lemma 3.1.  Computed as a clamped
+        projection onto every boundary segment at once; the segments
+        all have positive length (slab intervals and exposed vertical
+        gaps are non-degenerate by construction).
         """
         if self.is_empty:
             raise GeometryError("distance to the boundary of an empty region")
-        return min(
-            seg.distance_to_point(p) for seg in self.boundary_segments()
+        ax, ay, dx, dy, len_sq = self._boundary_coord_arrays()
+        t = np.clip(((p.x - ax) * dx + (p.y - ay) * dy) / len_sq, 0.0, 1.0)
+        return float(
+            np.min(np.hypot(p.x - (ax + t * dx), p.y - (ay + t * dy)))
         )
 
     def boundary_length(self) -> float:

@@ -75,6 +75,12 @@ class UniformGrid:
     def size(self) -> int:
         return 0 if self._xs is None else int(self._xs.shape[0])
 
+    def positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """The indexed coordinate arrays ``(xs, ys)`` (not copies)."""
+        if self._xs is None or self._ys is None:
+            raise GeometryError("grid queried before rebuild()")
+        return self._xs, self._ys
+
     def _cell_indices(self, cell: int) -> np.ndarray:
         assert self._order is not None and self._starts is not None
         return self._order[self._starts[cell] : self._starts[cell + 1]]

@@ -32,14 +32,22 @@ class PeerNetwork:
         """Refresh the connectivity snapshot from the mobility fleet."""
         self._grid.rebuild(xs, ys)
 
-    def peers_of(self, host_id: int, position: Point) -> np.ndarray:
-        """Host ids within range of ``position``, excluding the asker."""
+    def peers_of(
+        self, host_id: int, position: Point, count_traffic: bool = True
+    ) -> np.ndarray:
+        """Host ids within range of ``position``, excluding the asker.
+
+        ``count_traffic=False`` is for passive neighbourhood lookups
+        (e.g. who overhears a transmission) that put no share request
+        on the air and must not inflate the traffic accounting.
+        """
         if self._grid.size == 0:
             raise ProtocolError("network queried before update_positions()")
         neighbours = self._grid.query_disc(position, self.tx_range)
         neighbours = neighbours[neighbours != host_id]
-        self.requests_sent += 1
-        self.responses_received += int(neighbours.size)
+        if count_traffic:
+            self.requests_sent += 1
+            self.responses_received += int(neighbours.size)
         return neighbours
 
     def peers_within_hops(
@@ -56,7 +64,7 @@ class PeerNetwork:
         first = self.peers_of(host_id, position)
         if hops == 1:
             return first
-        xs, ys = self._grid._xs, self._grid._ys
+        xs, ys = self._grid.positions()
         visited: set[int] = {host_id, *(int(i) for i in first)}
         frontier = [int(i) for i in first]
         for _ in range(hops - 1):

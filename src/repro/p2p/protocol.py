@@ -7,7 +7,9 @@ verified-region MBRs and cached POIs (Section 3.3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import ProtocolError
 from ..geometry import Rect
@@ -25,11 +27,21 @@ class ShareRequest:
 
 @dataclass(frozen=True, slots=True)
 class ShareResponse:
-    """One peer's contribution: its VR rectangles and cached POIs."""
+    """One peer's contribution: its VR rectangles and cached POIs.
+
+    ``generation`` stamps the responder's cache content at build time
+    (-1 when unknown); responses with the same ``(peer_id, generation)``
+    are guaranteed identical, which the query kernels exploit to
+    memoise merged verified regions.
+    """
 
     peer_id: int
     regions: tuple[Rect, ...]
     pois: tuple[POI, ...]
+    generation: int = -1
+    _poi_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if any(r.is_degenerate() for r in self.regions):
@@ -38,3 +50,19 @@ class ShareResponse:
     @property
     def is_empty(self) -> bool:
         return not self.regions and not self.pois
+
+    def poi_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ids, xs, ys)`` of this response's POIs, built once.
+
+        The response is immutable, so the arrays are computed lazily on
+        first use and cached for every later query against it.
+        """
+        if self._poi_arrays is None:
+            n = len(self.pois)
+            arrays = (
+                np.fromiter((p.poi_id for p in self.pois), np.int64, count=n),
+                np.fromiter((p.location.x for p in self.pois), np.float64, count=n),
+                np.fromiter((p.location.y for p in self.pois), np.float64, count=n),
+            )
+            object.__setattr__(self, "_poi_arrays", arrays)
+        return self._poi_arrays

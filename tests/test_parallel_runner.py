@@ -1,0 +1,123 @@
+"""Determinism and ordering tests for the parallel sweep runner.
+
+The contract under test: a sweep's results depend only on its seeds —
+never on the worker count or scheduling — because every point's seed
+is fixed up-front and ``run_points`` restores grid order.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    SweepPoint,
+    SweepRunner,
+    run_sweep,
+)
+from repro.workloads import ALL_REGIONS, QueryKind
+
+TINY = dict(area_scale=0.02, warmup_queries=30, measure_queries=20)
+
+
+def _series_view(panels):
+    return [(p.region, p.xs, p.series) for p in panels]
+
+
+def _summaries(panels):
+    return [
+        [collector.summary() for collector in panel.collectors]
+        for panel in panels
+    ]
+
+
+class TestDeterminism:
+    def test_four_workers_equal_serial(self):
+        kwargs = dict(seed=5, **TINY)
+        serial = SweepRunner(max_workers=1).run_sweep(
+            "tx_range_m", [50, 150], QueryKind.KNN, ALL_REGIONS[:2], **kwargs
+        )
+        parallel = SweepRunner(max_workers=4).run_sweep(
+            "tx_range_m", [50, 150], QueryKind.KNN, ALL_REGIONS[:2], **kwargs
+        )
+        assert _series_view(serial) == _series_view(parallel)
+        assert _summaries(serial) == _summaries(parallel)
+
+    def test_legacy_entry_point_is_worker_count_invariant(self):
+        kwargs = dict(seed=2, **TINY)
+        serial = run_sweep(
+            "knn_k", [3, 9], QueryKind.KNN, ALL_REGIONS[:1], **kwargs
+        )
+        parallel = run_sweep(
+            "knn_k",
+            [3, 9],
+            QueryKind.KNN,
+            ALL_REGIONS[:1],
+            max_workers=2,
+            **kwargs,
+        )
+        assert _series_view(serial) == _series_view(parallel)
+        assert _summaries(serial) == _summaries(parallel)
+
+    def test_default_seeds_are_reproducible(self):
+        runs = [
+            SweepRunner(max_workers=1).run_sweep(
+                "tx_range_m", [100], QueryKind.KNN, ALL_REGIONS[:1],
+                seed=9, **TINY,
+            )
+            for _ in range(2)
+        ]
+        assert _series_view(runs[0]) == _series_view(runs[1])
+
+
+class TestRunPoints:
+    def _points(self, count):
+        return [
+            SweepPoint(
+                index=i,
+                base=ALL_REGIONS[0],
+                kind=QueryKind.KNN,
+                overrides={"tx_range_m": 50.0 + 50.0 * i},
+                seed=i,
+                area_scale=TINY["area_scale"],
+                warmup_queries=TINY["warmup_queries"],
+                measure_queries=TINY["measure_queries"],
+            )
+            for i in range(count)
+        ]
+
+    def test_results_preserve_grid_order(self):
+        results = SweepRunner(max_workers=2).run_points(self._points(3))
+        assert [r.point.index for r in results] == [0, 1, 2]
+
+    def test_wall_clock_recorded_per_point(self):
+        results = SweepRunner(max_workers=1).run_points(self._points(2))
+        assert all(r.wall_clock_s > 0.0 for r in results)
+
+    def test_empty_batch(self):
+        assert SweepRunner(max_workers=2).run_points([]) == []
+
+
+class TestValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(max_workers=0)
+
+    def test_rejects_wrong_seed_count(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(max_workers=1).run_sweep(
+                "tx_range_m",
+                [50, 150],
+                QueryKind.KNN,
+                ALL_REGIONS[:1],
+                seeds=[1, 2, 3],
+                **TINY,
+            )
+
+
+class TestSweepSeriesTiming:
+    def test_panels_carry_timings(self):
+        panels = run_sweep(
+            "tx_range_m", [50, 150], QueryKind.KNN, ALL_REGIONS[:1],
+            seed=1, **TINY,
+        )
+        assert len(panels[0].wall_clock_s) == len(panels[0].xs)
+        assert all(t > 0.0 for t in panels[0].wall_clock_s)

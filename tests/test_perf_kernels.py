@@ -1,0 +1,225 @@
+"""Equivalence tests for the vectorised query kernels.
+
+The vectorised NNV pipeline, the Hilbert batch transforms, the batch
+containment/boundary-distance kernels, and the generation-stamped MVR
+memo must agree with their scalar reference paths — byte-identical
+where the issue demands it (NNV results, Hilbert values, containment
+masks), to a relative 1e-12 for the boundary distances (same formula,
+array evaluation order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import POICache
+from repro.core import MVRMemo, merge_verified_regions, nnv, nnv_scalar
+from repro.geometry import (
+    Point,
+    Rect,
+    RectUnion,
+    hilbert_d_to_xy,
+    hilbert_d_to_xy_batch,
+    hilbert_xy_to_d,
+    hilbert_xy_to_d_batch,
+)
+from repro.model import POI
+from repro.p2p import ShareResponse
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.floats(-50, 50),
+    st.floats(-50, 50),
+    st.floats(0.1, 30),
+    st.floats(0.1, 30),
+)
+
+coord_strategy = st.floats(-60, 60)
+
+
+@st.composite
+def responses_strategy(draw):
+    """A few peers with overlapping regions and colliding POI ids."""
+    n_peers = draw(st.integers(1, 4))
+    responses = []
+    for peer in range(n_peers):
+        rects = tuple(draw(st.lists(rect_strategy, max_size=3)))
+        pois = tuple(
+            POI(poi_id, Point(x, y))
+            for poi_id, x, y in draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, 25), coord_strategy, coord_strategy
+                    ),
+                    max_size=6,
+                )
+            )
+        )
+        responses.append(ShareResponse(peer, rects, pois, generation=peer))
+    return responses
+
+
+class TestNNVEquivalence:
+    @given(
+        responses_strategy(),
+        coord_strategy,
+        coord_strategy,
+        st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_vectorised_matches_scalar(self, responses, qx, qy, k):
+        query = Point(qx, qy)
+        heap_vec, mvr_vec = nnv(query, responses, k)
+        heap_ref, mvr_ref = nnv_scalar(query, responses, k)
+        entries_vec = heap_vec.results()
+        entries_ref = heap_ref.results()
+        assert len(entries_vec) == len(entries_ref)
+        for a, b in zip(entries_vec, entries_ref):
+            assert a.poi is b.poi
+            assert a.distance == b.distance
+            assert a.verified == b.verified
+        assert mvr_vec.rects == mvr_ref.rects
+
+    @given(responses_strategy(), coord_strategy, coord_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_memoised_mvr_matches_fresh_merge(self, responses, qx, qy):
+        memo = MVRMemo()
+        merged = memo.merged(responses)
+        fresh = merge_verified_regions(responses)
+        assert merged.rects == fresh.rects
+        heap_memo, _ = nnv(Point(qx, qy), responses, 3, mvr=merged)
+        heap_ref, _ = nnv_scalar(Point(qx, qy), responses, 3)
+        assert [
+            (e.poi, e.distance, e.verified) for e in heap_memo.results()
+        ] == [(e.poi, e.distance, e.verified) for e in heap_ref.results()]
+
+
+class TestMVRMemo:
+    def _response(self, peer, generation, x=0.0):
+        return ShareResponse(
+            peer, (Rect(x, 0, x + 2, 2),), (), generation=generation
+        )
+
+    def test_hit_returns_same_object(self):
+        memo = MVRMemo()
+        responses = [self._response(0, 1), self._response(1, 4)]
+        first = memo.merged(responses)
+        second = memo.merged(list(responses))
+        assert second is first
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_generation_change_invalidates(self):
+        memo = MVRMemo()
+        before = memo.merged([self._response(0, 1)])
+        after = memo.merged([self._response(0, 2, x=5.0)])
+        assert after is not before
+        assert after.rects != before.rects
+        assert memo.misses == 2
+
+    def test_unstamped_responses_bypass_memo(self):
+        memo = MVRMemo()
+        unstamped = [ShareResponse(0, (Rect(0, 0, 1, 1),), ())]
+        first = memo.merged(unstamped)
+        second = memo.merged(unstamped)
+        assert first is not second
+        assert memo.hits == 0
+
+    def test_lru_bound(self):
+        memo = MVRMemo(maxsize=2)
+        for generation in range(5):
+            memo.merged([self._response(0, generation)])
+        assert len(memo._memo) <= 2
+
+
+class TestCacheGeneration:
+    def test_insert_and_evict_bump_touch_does_not(self):
+        cache = POICache(capacity=2, max_regions=4)
+        origin = Point(0.0, 0.0)
+        p1 = POI(1, Point(1.0, 1.0))
+        p2 = POI(2, Point(2.0, 2.0))
+        p3 = POI(3, Point(3.0, 3.0))
+        g0 = cache.generation
+        cache.insert_result(Rect(0, 0, 4, 4), [p1, p2], 0.0, origin)
+        g1 = cache.generation
+        assert g1 > g0
+        cache.touch([1, 2], 1.0)
+        assert cache.generation == g1
+        # Over-capacity insert evicts and bumps again.
+        cache.insert_result(Rect(0, 0, 4, 4), [p3], 2.0, origin)
+        assert cache.generation > g1
+
+
+class TestShareResponseArrays:
+    @given(responses_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_poi_arrays_match_pois(self, responses):
+        for response in responses:
+            ids, xs, ys = response.poi_arrays()
+            assert ids.tolist() == [p.poi_id for p in response.pois]
+            assert xs.tolist() == [p.x for p in response.pois]
+            assert ys.tolist() == [p.y for p in response.pois]
+            # Cached on the frozen instance: same arrays next call.
+            assert response.poi_arrays()[0] is ids
+
+
+class TestRectUnionBatchKernels:
+    @given(
+        st.lists(rect_strategy, min_size=1, max_size=8),
+        st.lists(
+            st.tuples(coord_strategy, coord_strategy), max_size=20
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_contains_points_matches_scalar(self, rects, points):
+        region = RectUnion(rects)
+        # Corner points sit exactly on boundaries — the sharpest case.
+        points = points + [(r.x1, r.y1) for r in rects]
+        points += [(r.x2, r.y2) for r in rects]
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        mask = region.contains_points(xs, ys)
+        for (x, y), got in zip(points, mask):
+            assert got == region.contains_point(Point(x, y))
+
+    @given(
+        st.lists(rect_strategy, min_size=1, max_size=6),
+        coord_strategy,
+        coord_strategy,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_distance_to_boundary_matches_segments(self, rects, x, y):
+        region = RectUnion(rects)
+        p = Point(x, y)
+        vectorised = region.distance_to_boundary(p)
+        reference = min(
+            seg.distance_to_point(p) for seg in region.boundary_segments()
+        )
+        assert vectorised == pytest.approx(reference, rel=1e-12, abs=1e-12)
+
+
+class TestHilbertBatch:
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_batch_matches_scalar(self, order, data):
+        side = 1 << order
+        ds = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, side * side - 1), min_size=1, max_size=32
+                )
+            ),
+            dtype=np.int64,
+        )
+        xs, ys = hilbert_d_to_xy_batch(order, ds)
+        for d, x, y in zip(ds, xs, ys):
+            assert (int(x), int(y)) == hilbert_d_to_xy(order, int(d))
+        back = hilbert_xy_to_d_batch(order, xs, ys)
+        assert np.array_equal(back, ds)
+        for x, y, d in zip(xs, ys, back):
+            assert hilbert_xy_to_d(order, int(x), int(y)) == int(d)
+
+    def test_full_roundtrip_order_5(self):
+        ds = np.arange(1024, dtype=np.int64)
+        xs, ys = hilbert_d_to_xy_batch(5, ds)
+        assert np.array_equal(hilbert_xy_to_d_batch(5, xs, ys), ds)

@@ -47,7 +47,7 @@ def main() -> None:
         t = minute * 60.0
         position = trip.position_at(t)
         heading = trip.heading_at(t)
-        regions, cached = cache.share(t)
+        regions, cached = cache.share()
         responses = (
             [ShareResponse(0, tuple(regions), tuple(cached))] if regions else []
         )

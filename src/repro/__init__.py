@@ -13,7 +13,8 @@ A full reimplementation of the paper's system and its substrates:
 * ``repro.p2p``        — single-hop peer discovery and share protocol;
 * ``repro.analysis``   — the probabilistic hit-ratio model;
 * ``repro.workloads``  — Table 3/4 parameter sets and generators;
-* ``repro.experiments``— the simulation harness behind Figures 10–15.
+* ``repro.experiments``— the simulation harness behind Figures 10–15;
+* ``repro.faults``     — opt-in unreliable-wireless channel model.
 
 Quickstart::
 

@@ -28,6 +28,9 @@ class OnAirClient:
             )
         self.server = server
         self.schedule = schedule
+        # Optional unreliable-broadcast fault model (repro.faults.
+        # ChannelModel); None means the perfect channel of the paper.
+        self.channel = None
 
     @classmethod
     def build(
@@ -75,10 +78,13 @@ class OnAirClient:
             upper_bound=upper_bound,
             lower_bound=lower_bound,
             known_pois=known_pois,
+            channel=self.channel,
         )
 
     def window(
         self, windows: Sequence[Rect], t_query: float = 0.0
     ) -> OnAirWindowResult:
         """On-air window query over one or more window fragments."""
-        return onair_window(self.server, self.schedule, windows, t_query)
+        return onair_window(
+            self.server, self.schedule, windows, t_query, channel=self.channel
+        )

@@ -140,16 +140,25 @@ def onair_knn(
     upper_bound: float | None = None,
     lower_bound: float | None = None,
     known_pois: tuple[POI, ...] = (),
+    channel=None,
 ) -> OnAirKnnResult:
     """Run a full on-air kNN query, returning the exact answer.
 
     ``known_pois`` are POIs the client already holds verified (from
     peer sharing); they stand in for any skipped buckets in the final
     ranking, keeping the answer exact even under the lower-bound
-    filter.
+    filter.  ``channel`` is an optional unreliable-broadcast fault
+    model: lost buckets are recovered by re-tuning at the next index
+    segment, and the recovery shows up in the cost.
     """
     plan = plan_knn(server, query, k, upper_bound, lower_bound)
-    cost = schedule.retrieve(t_query, plan.bucket_ids, plan.index_read_packets)
+    cost = schedule.retrieve_with_recovery(
+        t_query,
+        plan.bucket_ids,
+        plan.index_read_packets,
+        channel=channel,
+        recovery_index_packets=server.index.tree_probe_packets,
+    )
     downloaded: list[POI] = []
     for bucket_id in plan.bucket_ids:
         downloaded.extend(server.pois_in_bucket(bucket_id))

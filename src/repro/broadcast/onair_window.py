@@ -69,16 +69,23 @@ def onair_window(
     schedule: BroadcastSchedule,
     windows: Sequence[Rect],
     t_query: float,
+    channel=None,
 ) -> OnAirWindowResult:
     """Run an on-air window query over one or more window fragments.
 
     Returns the POIs inside any of the fragments.  Callers answering an
     original window ``w`` from a partial peer result combine these POIs
     with the peer-verified ones covering ``w - union(windows)``.
+    ``channel`` is an optional unreliable-broadcast fault model whose
+    bucket losses are recovered via index-segment re-tunes.
     """
     bucket_ids, bonus_regions = plan_window(server, windows)
-    cost = schedule.retrieve(
-        t_query, bucket_ids, server.index.tree_probe_packets
+    cost = schedule.retrieve_with_recovery(
+        t_query,
+        bucket_ids,
+        server.index.tree_probe_packets,
+        channel=channel,
+        recovery_index_packets=server.index.tree_probe_packets,
     )
     downloaded: list[POI] = []
     for bucket_id in bucket_ids:

@@ -30,12 +30,20 @@ from ..errors import BroadcastError
 
 @dataclass(frozen=True, slots=True)
 class RetrievalCost:
-    """Outcome of one on-air retrieval."""
+    """Outcome of one on-air retrieval.
+
+    ``retunes`` and ``buckets_lost`` are nonzero only on an unreliable
+    channel: each lost data bucket forces the client back to the next
+    index segment (the (1, m) design's crash-recovery property), and
+    every such re-tune adds waiting time and tuning packets.
+    """
 
     access_latency: float
     tuning_packets: int
     finish_time: float
     buckets_downloaded: int
+    retunes: int = 0
+    buckets_lost: int = 0
 
     @property
     def tuning_time(self) -> float:
@@ -162,4 +170,64 @@ class BroadcastSchedule:
             tuning_packets=1 + index_read_packets + len(bucket_ids),
             finish_time=finish,
             buckets_downloaded=len(bucket_ids),
+        )
+
+    def retrieve_with_recovery(
+        self,
+        t_query: float,
+        bucket_ids: Sequence[int],
+        index_read_packets: int | None = None,
+        *,
+        channel=None,
+        recovery_index_packets: int = 1,
+    ) -> RetrievalCost:
+        """Price a retrieval on a channel that can corrupt buckets.
+
+        ``channel`` is a :class:`~repro.faults.ChannelModel` (or any
+        object with ``split_received`` and ``config.max_retunes``);
+        ``None`` degrades to :meth:`retrieve` exactly.  When a bucket
+        is lost the client re-tunes at the next index segment — the
+        (1, m) index repeats every chunk, so recovery costs one wait
+        until the segment start, ``recovery_index_packets`` index reads
+        to re-locate the lost buckets, and their re-download when they
+        come around again.  After ``max_retunes`` rounds the residual
+        loss is waived so the retrieval always completes (the counters
+        still record every loss).
+        """
+        cost = self.retrieve(t_query, bucket_ids, index_read_packets)
+        if channel is None or not bucket_ids:
+            return cost
+        if not (1 <= recovery_index_packets <= self.index_packet_count):
+            raise BroadcastError(
+                "recovery_index_packets must be in "
+                f"[1, {self.index_packet_count}]"
+            )
+        _, lost = channel.split_received(list(bucket_ids))
+        if not lost:
+            return cost
+        finish = cost.finish_time
+        tuning = cost.tuning_packets
+        downloaded = cost.buckets_downloaded
+        retunes = 0
+        lost_total = 0
+        while lost:
+            retunes += 1
+            lost_total += len(lost)
+            index_start = self.next_index_start(finish)
+            index_end = index_start + recovery_index_packets * self.packet_time
+            finish = index_end
+            for bucket_id in lost:
+                finish = max(finish, self.next_bucket_end(bucket_id, index_end))
+            tuning += recovery_index_packets + len(lost)
+            downloaded += len(lost)
+            if retunes >= channel.config.max_retunes:
+                break
+            _, lost = channel.split_received(lost)
+        return RetrievalCost(
+            access_latency=finish - t_query,
+            tuning_packets=tuning,
+            finish_time=finish,
+            buckets_downloaded=downloaded,
+            retunes=retunes,
+            buckets_lost=lost_total,
         )

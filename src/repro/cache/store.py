@@ -105,6 +105,11 @@ class POICache:
         Completeness of ``pois`` within ``region`` is the caller's
         contract; capacity pressure is resolved here by policy-ranked
         eviction with region shrinking.
+
+        The content generation moves at most once per call, however
+        many POIs, regions, and evictions the call touches — share
+        responses and merged-MVR memos key on the generation, so a
+        double bump would invalidate them twice for one change.
         """
         changed = False
         for poi in pois:
@@ -113,10 +118,8 @@ class POICache:
             else:
                 self._items[poi.poi_id] = CacheItem(poi, now, now)
                 changed = True
-        if changed:
-            self.generation += 1
         if not region.is_degenerate():
-            self.generation += 1
+            changed = True
             self._regions.append(VerifiedRegion(region, now))
             self._coalesce_regions()
             while len(self._regions) > self.max_regions:
@@ -126,7 +129,9 @@ class POICache:
                     key=lambda vr: vr.rect.distance_to_point(host_position),
                 )
                 self._regions.remove(farthest)
-        self._enforce_capacity(now, host_position, heading)
+        changed |= self._enforce_capacity(now, host_position, heading)
+        if changed:
+            self.generation += 1
 
     def touch(self, poi_ids: Iterable[int], now: float) -> None:
         """Record use of cached POIs (LRU bookkeeping)."""
@@ -135,12 +140,13 @@ class POICache:
             if item is not None:
                 item.last_used = now
 
-    def share(self, now: float) -> tuple[list[Rect], list[POI]]:
+    def share(self) -> tuple[list[Rect], list[POI]]:
         """What this host sends a requesting peer: VR rects + POIs.
 
         Serving a peer is not a local *use* of the data, so it leaves
         the LRU clock alone (callers record genuine uses via
-        :meth:`touch`).
+        :meth:`touch`) and needs no clock at all — the content depends
+        only on the cache state, never on when the request arrives.
         """
         return self.region_rects, self.pois
 
@@ -165,21 +171,26 @@ class POICache:
 
     def _enforce_capacity(
         self, now: float, host_position: Point, heading: tuple[float, float]
-    ) -> None:
+    ) -> bool:
+        """Evict down to capacity; True when anything was evicted."""
         if len(self._items) <= self.capacity:
-            return
+            return False
         victims = self.policy.rank_victims(
             list(self._items.values()), host_position, heading
         )
         excess = len(self._items) - self.capacity
         for item in victims[:excess]:
             self._evict(item.poi)
+        return excess > 0
 
     def _evict(self, poi: POI) -> None:
-        """Remove one POI, shrinking every region that covers it."""
+        """Remove one POI, shrinking every region that covers it.
+
+        Generation bookkeeping is the caller's job (the public
+        mutators bump it once per call).
+        """
         if poi.poi_id not in self._items:
             raise CacheError(f"evicting uncached POI {poi.poi_id}")
-        self.generation += 1
         del self._items[poi.poi_id]
         updated: list[VerifiedRegion] = []
         for vr in self._regions:

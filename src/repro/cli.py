@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from typing import Callable, Sequence
 
+from .faults import FaultConfig
 from .experiments import (
     Simulation,
     format_series,
@@ -66,6 +68,60 @@ QUICK_SWEEPS: dict[str, tuple[float, ...]] = {
 }
 
 
+def add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """The unreliable-wireless knobs shared by the simulation commands."""
+    group = parser.add_argument_group("fault injection (off by default)")
+    group.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="per-link P2P message (and broadcast bucket) loss probability",
+    )
+    group.add_argument(
+        "--peer-timeout",
+        type=float,
+        default=None,
+        help="peer response deadline in seconds (default: no deadline)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retry rounds for unheard peers (with exponential backoff)",
+    )
+    group.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.0,
+        help="probability that an in-range peer has silently departed",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault layer's own RNG",
+    )
+
+
+def fault_config_from_args(args: argparse.Namespace) -> FaultConfig | None:
+    """Build the opt-in FaultConfig; ``None`` when every knob is off."""
+    if (
+        args.loss_rate <= 0.0
+        and args.churn_rate <= 0.0
+        and args.peer_timeout is None
+    ):
+        return None
+    kwargs: dict = {
+        "loss_rate": args.loss_rate,
+        "churn_rate": args.churn_rate,
+        "retries": args.retries,
+        "seed": args.fault_seed,
+    }
+    if args.peer_timeout is not None:
+        kwargs["peer_timeout"] = args.peer_timeout
+    return FaultConfig(**kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LBSQ-with-data-sharing reproduction CLI"
@@ -79,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--measure", type=int, default=400)
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument("--out", default=None, help="optional CSV output path")
+    add_fault_args(fig)
 
     query = sub.add_parser("query", help="run one kNN query in a fresh world")
     query.add_argument("--region", choices=sorted(REGIONS), default="suburbia")
@@ -86,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scale", type=float, default=0.05)
     query.add_argument("--warmup", type=int, default=800)
     query.add_argument("--seed", type=int, default=0)
+    add_fault_args(query)
 
     sub.add_parser("params", help="print the Table 3 parameter sets")
 
@@ -116,16 +174,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one JSON document instead of ASCII tables",
     )
     bench.add_argument("--out", default=None, help="optional JSON output path")
+    add_fault_args(bench)
     return parser
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
     runner = FIGURES[args.name]
+    fault_kwargs = {}
+    fault_config = fault_config_from_args(args)
+    if fault_config is not None:
+        fault_kwargs["fault_config"] = fault_config
     panels = runner(
         area_scale=args.scale,
         warmup_queries=args.warmup,
         measure_queries=args.measure,
         seed=args.seed,
+        **fault_kwargs,
     )
     for panel in panels:
         print(format_series(panel))
@@ -138,13 +202,20 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
-    sim = Simulation(params, seed=args.seed)
+    sim = Simulation(
+        params, seed=args.seed, fault_config=fault_config_from_args(args)
+    )
     sim.run_workload(QueryKind.KNN, 0, args.warmup)
     result = sim.run_knn_query(k=args.k)
     record = result.record
     print(f"host {record.host_id}: {record.resolution.value},"
           f" latency {record.access_latency:.2f} s,"
           f" {record.peer_count} peers")
+    if record.p2p_drops or record.p2p_retries or record.recovery_retunes:
+        print(f"  faults: {record.p2p_drops} drops,"
+              f" {record.p2p_retries} retries,"
+              f" {record.p2p_deadline_misses} deadline misses,"
+              f" {record.recovery_retunes} re-tunes")
     for rank, poi in enumerate(result.answers, start=1):
         print(f"  #{rank}: POI {poi.poi_id} at"
               f" ({poi.x:.2f}, {poi.y:.2f})")
@@ -175,6 +246,23 @@ def cmd_bench_quick(args: argparse.Namespace) -> int:
         },
         "figures": {},
     }
+    fault_kwargs = {}
+    fault_config = fault_config_from_args(args)
+    if fault_config is not None:
+        # Only stamped when enabled, so the fault-free report stays
+        # byte-compatible with the pre-fault-layer output.
+        fault_kwargs["fault_config"] = fault_config
+        report["parameters"]["faults"] = {
+            "loss_rate": fault_config.loss_rate,
+            "churn_rate": fault_config.churn_rate,
+            "peer_timeout": (
+                fault_config.peer_timeout
+                if math.isfinite(fault_config.peer_timeout)
+                else None
+            ),
+            "retries": fault_config.retries,
+            "fault_seed": fault_config.seed,
+        }
     start = time.perf_counter()
     for name in args.figures:
         fig_start = time.perf_counter()
@@ -185,6 +273,7 @@ def cmd_bench_quick(args: argparse.Namespace) -> int:
             measure_queries=args.measure,
             seed=args.seed,
             max_workers=args.workers,
+            **fault_kwargs,
         )
         report["figures"][name] = {
             "wall_clock_s": time.perf_counter() - fig_start,

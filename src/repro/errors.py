@@ -37,3 +37,7 @@ class ProtocolError(ReproError):
 
 class ExperimentError(ReproError):
     """Invalid experiment configuration or runner misuse."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection configuration or channel-model misuse."""

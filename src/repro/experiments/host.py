@@ -22,11 +22,14 @@ from ..broadcast import OnAirClient
 from ..cache import POICache
 from ..core import MVRMemo, Resolution, sbnn, sbwq
 from ..core.heap import HeapEntry
+from ..faults import P2PFaultStats
 from ..geometry import Circle, Point, Rect, RectUnion
-from ..model import POI
-from ..p2p import ShareResponse
+from ..model import DEFAULT_CATEGORY, POI
+from ..p2p import ShareRequest, ShareResponse
 from ..workloads import QueryKind
 from .metrics import QueryRecord
+
+NO_FAULTS = P2PFaultStats()
 
 
 SharedRegion = tuple[Rect, tuple[POI, ...]]
@@ -76,16 +79,22 @@ class MobileHost:
         self._mvr_memo = MVRMemo()
 
     # ------------------------------------------------------------------
-    def share_response(self, now: float) -> ShareResponse | None:
+    def share_response(
+        self, request: ShareRequest | None = None
+    ) -> ShareResponse | None:
         """Answer a peer's share request; ``None`` when nothing cached.
 
-        The response is immutable and stamped with the cache's content
-        generation, so it is built once per generation and handed out
-        as-is until the cache next changes.
+        A host only answers requests for the category it caches (this
+        deployment is single-category).  The response is immutable and
+        stamped with the cache's content generation, so it is built
+        once per generation and handed out as-is until the cache next
+        changes.
         """
+        if request is not None and request.category != DEFAULT_CATEGORY:
+            return None
         generation = self.cache.generation
         if generation != self._share_generation:
-            regions, pois = self.cache.share(now)
+            regions, pois = self.cache.share()
             self._share_memo = (
                 None
                 if not regions and not pois
@@ -110,8 +119,15 @@ class MobileHost:
         accept_approximate: bool = True,
         min_correctness: float = 0.5,
         cache_gossip: bool = True,
+        fault_stats: P2PFaultStats | None = None,
     ) -> HostQueryResult:
-        """The full SBNN pipeline for one kNN query (Algorithm 2)."""
+        """The full SBNN pipeline for one kNN query (Algorithm 2).
+
+        ``fault_stats`` is what the unreliable channel did to the share
+        exchange (drops, retries, deadline misses); its extra latency
+        is charged to the query and its counters stamped on the record.
+        """
+        faults = fault_stats if fault_stats is not None else NO_FAULTS
         outcome = sbnn(
             position,
             responses,
@@ -125,7 +141,7 @@ class MobileHost:
             1 for r in responses if r.peer_id != self.host_id
         )
         if outcome.resolution is not Resolution.BROADCAST:
-            latency = p2p_latency if peer_count else 0.0
+            latency = (p2p_latency if peer_count else 0.0) + faults.extra_latency
             shared: SharedRegion | None = None
             if cache_gossip:
                 shared = self._gossip_cache(
@@ -145,6 +161,9 @@ class MobileHost:
                     peer_count=peer_count,
                     k=k,
                     result_size=len(entries),
+                    p2p_drops=faults.drops,
+                    p2p_retries=faults.retries,
+                    p2p_deadline_misses=faults.deadline_misses,
                 ),
                 answers=tuple(e.poi for e in entries),
                 heap_entries=entries,
@@ -182,8 +201,10 @@ class MobileHost:
             shared_regions.append((region, in_region))
         for region, pois in shared_regions:
             self.cache.insert_result(region, list(pois), now, position, heading)
-        latency = (p2p_latency if peer_count else 0.0) + (
-            onair_result.cost.access_latency
+        latency = (
+            (p2p_latency if peer_count else 0.0)
+            + faults.extra_latency
+            + onair_result.cost.access_latency
         )
         return HostQueryResult(
             record=QueryRecord(
@@ -197,6 +218,11 @@ class MobileHost:
                 peer_count=peer_count,
                 k=k,
                 result_size=len(onair_result.results),
+                p2p_drops=faults.drops,
+                p2p_retries=faults.retries,
+                p2p_deadline_misses=faults.deadline_misses,
+                recovery_retunes=onair_result.cost.retunes,
+                buckets_lost=onair_result.cost.buckets_lost,
             ),
             answers=tuple(e.poi for e in onair_result.results),
             shared=tuple(shared_regions),
@@ -237,8 +263,10 @@ class MobileHost:
         onair: OnAirClient,
         now: float,
         p2p_latency: float = 0.05,
+        fault_stats: P2PFaultStats | None = None,
     ) -> HostQueryResult:
         """The full SBWQ pipeline for one window query (Algorithm 3)."""
+        faults = fault_stats if fault_stats is not None else NO_FAULTS
         outcome = sbwq(window, responses, mvr=self._mvr_memo.merged(responses))
         peer_count = sum(
             1 for r in responses if r.peer_id != self.host_id
@@ -254,12 +282,16 @@ class MobileHost:
                     host_id=self.host_id,
                     kind=QueryKind.WINDOW,
                     resolution=Resolution.VERIFIED,
-                    access_latency=p2p_latency if peer_count else 0.0,
+                    access_latency=(p2p_latency if peer_count else 0.0)
+                    + faults.extra_latency,
                     tuning_packets=0,
                     buckets_downloaded=0,
                     peer_count=peer_count,
                     window_area=window.area,
                     result_size=len(outcome.verified_pois),
+                    p2p_drops=faults.drops,
+                    p2p_retries=faults.retries,
+                    p2p_deadline_misses=faults.deadline_misses,
                 ),
                 answers=outcome.verified_pois,
                 shared=((window, outcome.verified_pois),),
@@ -285,8 +317,10 @@ class MobileHost:
             shared_regions.append((region, in_region))
         for region, pois in shared_regions:
             self.cache.insert_result(region, list(pois), now, position, heading)
-        latency = (p2p_latency if peer_count else 0.0) + (
-            onair_result.cost.access_latency
+        latency = (
+            (p2p_latency if peer_count else 0.0)
+            + faults.extra_latency
+            + onair_result.cost.access_latency
         )
         ordered = tuple(sorted(answers.values(), key=lambda p: p.poi_id))
         return HostQueryResult(
@@ -301,6 +335,11 @@ class MobileHost:
                 peer_count=peer_count,
                 window_area=window.area,
                 result_size=len(ordered),
+                p2p_drops=faults.drops,
+                p2p_retries=faults.retries,
+                p2p_deadline_misses=faults.deadline_misses,
+                recovery_retunes=onair_result.cost.retunes,
+                buckets_lost=onair_result.cost.buckets_lost,
             ),
             answers=ordered,
             shared=tuple(shared_regions),

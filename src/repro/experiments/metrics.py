@@ -18,7 +18,15 @@ from ..workloads import QueryKind
 
 @dataclass(frozen=True, slots=True)
 class QueryRecord:
-    """Everything measured about one executed query."""
+    """Everything measured about one executed query.
+
+    The trailing fault counters stay zero in a perfect-channel run:
+    ``p2p_drops`` (lost messages and churned peers), ``p2p_retries``
+    (extra request broadcasts), ``p2p_deadline_misses`` (responses
+    past the deadline), ``recovery_retunes`` (index-segment re-tunes
+    after a lost data bucket), and ``buckets_lost`` (data buckets
+    re-downloaded because a copy was corrupted).
+    """
 
     time: float
     host_id: int
@@ -31,6 +39,11 @@ class QueryRecord:
     k: int = 0
     window_area: float = 0.0
     result_size: int = 0
+    p2p_drops: int = 0
+    p2p_retries: int = 0
+    p2p_deadline_misses: int = 0
+    recovery_retunes: int = 0
+    buckets_lost: int = 0
 
 
 class MetricsCollector:
@@ -89,6 +102,42 @@ class MetricsCollector:
 
     def total_buckets(self) -> int:
         return sum(r.buckets_downloaded for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Fault-layer aggregates (all zero on a perfect channel)
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        """Share of queries answered without the channel, in percent."""
+        return self.pct_verified + self.pct_approximate
+
+    def total_drops(self) -> int:
+        return sum(r.p2p_drops for r in self.records)
+
+    def total_retries(self) -> int:
+        return sum(r.p2p_retries for r in self.records)
+
+    def total_deadline_misses(self) -> int:
+        return sum(r.p2p_deadline_misses for r in self.records)
+
+    def total_retunes(self) -> int:
+        return sum(r.recovery_retunes for r in self.records)
+
+    def total_buckets_lost(self) -> int:
+        return sum(r.buckets_lost for r in self.records)
+
+    def fault_summary(self) -> dict[str, float]:
+        """The degradation benchmark's counters, as a flat dict."""
+        if not self.records:
+            raise ExperimentError("no records collected")
+        return {
+            "hit_ratio": self.hit_ratio,
+            "drops": float(self.total_drops()),
+            "retries": float(self.total_retries()),
+            "deadline_misses": float(self.total_deadline_misses()),
+            "recovery_retunes": float(self.total_retunes()),
+            "buckets_lost": float(self.total_buckets_lost()),
+        }
 
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, float]:

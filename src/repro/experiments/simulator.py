@@ -21,10 +21,11 @@ import numpy as np
 
 from ..cache import POICache, ReplacementPolicy
 from ..errors import ExperimentError
+from ..faults import ChannelModel, FaultConfig, P2PFaultStats
 from ..geometry import Point, Rect
 from ..mobility import WaypointFleet
 from ..model import POI
-from ..p2p import PeerNetwork, ShareResponse
+from ..p2p import PeerNetwork, ShareRequest, ShareResponse
 from ..sim import Environment
 from ..workloads import (
     ParameterSet,
@@ -66,6 +67,7 @@ class Simulation:
         p2p_hops: int = 1,
         enable_sharing: bool = True,
         pois: Sequence[POI] | None = None,
+        fault_config: FaultConfig | None = None,
     ):
         if position_refresh_interval <= 0:
             raise ExperimentError("position_refresh_interval must be positive")
@@ -84,6 +86,15 @@ class Simulation:
         # With sharing disabled the simulator degrades to the pure
         # on-air system of Zheng et al. — the paper's baseline.
         self.enable_sharing = enable_sharing
+        # The fault layer is strictly opt-in: without an enabled
+        # config no ChannelModel exists, no fault RNG is ever drawn,
+        # and every run is bit-identical to a perfect-channel one.
+        self.fault_config = fault_config
+        self.faults = (
+            ChannelModel(fault_config, tx_range=params.tx_range_mi)
+            if fault_config is not None and fault_config.enabled
+            else None
+        )
 
         self.pois: list[POI] = (
             list(pois)
@@ -99,6 +110,8 @@ class Simulation:
             m=m,
             packet_time=packet_time,
         )
+        if self.faults is not None and fault_config.broadcast_enabled:
+            self.station.client.channel = self.faults
         speed_mi_s = (
             speed_range_mph[0] / SECONDS_PER_HOUR,
             speed_range_mph[1] / SECONDS_PER_HOUR,
@@ -169,9 +182,17 @@ class Simulation:
     # ------------------------------------------------------------------
     def _collect_responses(
         self, host_id: int, position: Point, now: float
-    ) -> list[ShareResponse]:
+    ) -> tuple[list[ShareResponse], P2PFaultStats]:
+        """One share exchange: the responses plus what faults did to it.
+
+        Traffic accounting: only peers that actually answer (non-empty
+        cache, message delivered, deadline met) count as responses —
+        peers merely in range are ``peers_heard``, and responders
+        discarded by ``max_responders`` subsampling were never
+        collected, so neither inflates ``responses_received``.
+        """
         if not self.enable_sharing:
-            return []
+            return [], P2PFaultStats()
         if self.p2p_hops == 1:
             peer_ids = self.network.peers_of(host_id, position)
         else:
@@ -186,14 +207,94 @@ class Simulation:
                 peer_ids, size=self.max_responders, replace=False
             )
         responses: list[ShareResponse] = []
-        own = self.hosts[host_id].share_response(now)
+        own = self.hosts[host_id].share_response()
         if own is not None:
             responses.append(own)
+        if self.faults is None or not self.fault_config.p2p_enabled:
+            received = 0
+            for pid in peer_ids:
+                response = self.hosts[int(pid)].share_response()
+                if response is not None:
+                    responses.append(response)
+                    received += 1
+            self.network.record_responses(received)
+            return responses, P2PFaultStats()
+        return self._collect_responses_faulty(
+            host_id, position, now, peer_ids, responses
+        )
+
+    def _collect_responses_faulty(
+        self,
+        host_id: int,
+        position: Point,
+        now: float,
+        peer_ids: np.ndarray,
+        responses: list[ShareResponse],
+    ) -> tuple[list[ShareResponse], P2PFaultStats]:
+        """The unreliable-channel share exchange with retry/backoff.
+
+        Per peer and attempt: the request leg and the response leg can
+        each be lost (distance-dependent when configured), a churned
+        peer never answers at all, and a response sampled past the
+        deadline is discarded.  Unheard peers are retried — every retry
+        round is one more request on the air, one more round trip of
+        latency, and one backoff wait.
+        """
+        channel = self.faults
+        cfg = self.fault_config
+        request = ShareRequest(requester_id=host_id, issued_at=now)
+        drops = retries = misses = 0
+        extra_latency = 0.0
+        pending: list[int] = []
         for pid in peer_ids:
-            response = self.hosts[int(pid)].share_response(now)
-            if response is not None:
-                responses.append(response)
-        return responses
+            if channel.peer_departed():
+                drops += 1
+            else:
+                pending.append(int(pid))
+        received = 0
+        attempt = 0
+        while pending:
+            if attempt > 0:
+                retries += 1
+                self.network.record_requests(1)
+                extra_latency += (
+                    self.p2p_latency * self.p2p_hops
+                    + channel.backoff_delay(attempt)
+                )
+            still_pending: list[int] = []
+            for pid in pending:
+                distance = math.hypot(
+                    float(self._xs[pid]) - position.x,
+                    float(self._ys[pid]) - position.y,
+                )
+                # Request and response legs fail independently; a lost
+                # request means the peer never transmits a reply.
+                if channel.link_lost(distance) or channel.link_lost(distance):
+                    drops += 1
+                    still_pending.append(pid)
+                    continue
+                if channel.has_deadline and (
+                    channel.response_arrival(request.issued_at)
+                    > request.deadline(cfg.peer_timeout)
+                ):
+                    misses += 1
+                    still_pending.append(pid)
+                    continue
+                response = self.hosts[pid].share_response(request)
+                if response is not None:
+                    responses.append(response)
+                    received += 1
+            pending = still_pending
+            attempt += 1
+            if attempt > cfg.retries:
+                break
+        self.network.record_responses(received)
+        return responses, P2PFaultStats(
+            drops=drops,
+            retries=retries,
+            deadline_misses=misses,
+            extra_latency=extra_latency,
+        )
 
     def execute_query(self, event: QueryEvent) -> HostQueryResult:
         """Run one query event through the full pipeline."""
@@ -201,7 +302,9 @@ class Simulation:
         host = self.hosts[event.host_id]
         position = self.host_position(event.host_id)
         heading = self.host_heading(event.host_id)
-        responses = self._collect_responses(event.host_id, position, event.time)
+        responses, fault_stats = self._collect_responses(
+            event.host_id, position, event.time
+        )
         if event.kind is QueryKind.KNN:
             result = host.execute_knn(
                 position,
@@ -215,6 +318,7 @@ class Simulation:
                 accept_approximate=self.accept_approximate,
                 min_correctness=self.min_correctness,
                 cache_gossip=self.cache_gossip,
+                fault_stats=fault_stats,
             )
         else:
             window = event.window_for(position, self.params.bounds)
@@ -226,6 +330,7 @@ class Simulation:
                 self.station.client,
                 event.time,
                 p2p_latency=self.p2p_latency * self.p2p_hops,
+                fault_stats=fault_stats,
             )
         if self.overhear and result.shared:
             self._spread_overheard(event.host_id, result, event.time)

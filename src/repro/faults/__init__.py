@@ -1,0 +1,21 @@
+"""Fault injection for the wireless medium.
+
+The paper's radio model — and the seed reproduction's — is perfect:
+every in-range peer answers instantly and losslessly, and broadcast
+buckets always arrive.  This package makes the medium unreliable on
+demand: a seeded :class:`ChannelModel` injects per-link packet loss
+(optionally distance-dependent), peer churn, response-deadline misses,
+and broadcast-bucket loss, while :class:`FaultConfig` bundles the
+knobs (including the retry-with-backoff policy and the (1, m)
+re-tune-at-next-index recovery cap).
+
+The layer is strictly opt-in: with no :class:`FaultConfig` (or an
+all-zero one) nothing here is ever consulted and no random draw is
+made, so every fault-free run is bit-identical to one without the
+package.
+"""
+
+from .channel import ChannelModel, P2PFaultStats
+from .config import FaultConfig
+
+__all__ = ["ChannelModel", "FaultConfig", "P2PFaultStats"]

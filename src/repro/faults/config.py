@@ -1,0 +1,101 @@
+"""Configuration of the unreliable-wireless fault layer."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import FaultError
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """All fault-injection knobs in one immutable bundle.
+
+    * ``loss_rate`` — probability that one P2P message (request leg or
+      response leg, drawn independently) is lost on a link;
+    * ``distance_weighted`` — scale the loss probability with the
+      squared link distance (``2 p (d / tx_range)^2``, clipped to 1),
+      which preserves the mean loss over a uniform disc while making
+      fringe peers flakier than close ones;
+    * ``churn_rate`` — probability that an in-range peer has silently
+      left the network (powered down, drove out between snapshots) and
+      answers nothing for the whole query, retries included;
+    * ``peer_timeout`` — response deadline in seconds; a peer whose
+      sampled response delay (exponential with mean ``delay_scale``)
+      exceeds it is a *deadline miss* and may be retried.  ``inf``
+      (the default) disables the deadline entirely;
+    * ``retries`` / ``backoff`` — the requester re-broadcasts the share
+      request up to ``retries`` extra times for peers still unheard,
+      waiting ``backoff * 2^(attempt-1)`` seconds before attempt
+      ``attempt``; every retry is one more request on the air and one
+      more round trip of latency;
+    * ``bucket_loss_rate`` — probability that one broadcast data
+      bucket is corrupted in flight (defaults to ``loss_rate``); the
+      client detects the loss and re-tunes at the next index segment
+      per the (1, m) design, at most ``max_retunes`` times;
+    * ``seed`` — the fault stream's own RNG seed, independent of the
+      simulation seed so enabling faults never perturbs the workload.
+    """
+
+    loss_rate: float = 0.0
+    distance_weighted: bool = False
+    churn_rate: float = 0.0
+    peer_timeout: float = math.inf
+    delay_scale: float = 0.02
+    retries: int = 1
+    backoff: float = 0.05
+    bucket_loss_rate: float | None = None
+    max_retunes: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "churn_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {value}")
+        if self.bucket_loss_rate is not None and not (
+            0.0 <= self.bucket_loss_rate <= 1.0
+        ):
+            raise FaultError(
+                f"bucket_loss_rate must be in [0, 1], got {self.bucket_loss_rate}"
+            )
+        if self.peer_timeout <= 0:
+            raise FaultError(f"peer_timeout must be positive, got {self.peer_timeout}")
+        if self.delay_scale <= 0:
+            raise FaultError(f"delay_scale must be positive, got {self.delay_scale}")
+        if self.retries < 0:
+            raise FaultError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise FaultError(f"backoff must be >= 0, got {self.backoff}")
+        if self.max_retunes < 1:
+            raise FaultError(f"max_retunes must be >= 1, got {self.max_retunes}")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_bucket_loss_rate(self) -> float:
+        """Bucket loss probability after the ``loss_rate`` default."""
+        return (
+            self.loss_rate
+            if self.bucket_loss_rate is None
+            else self.bucket_loss_rate
+        )
+
+    @property
+    def p2p_enabled(self) -> bool:
+        """True when any peer-side fault can fire."""
+        return (
+            self.loss_rate > 0.0
+            or self.churn_rate > 0.0
+            or math.isfinite(self.peer_timeout)
+        )
+
+    @property
+    def broadcast_enabled(self) -> bool:
+        """True when broadcast buckets can be lost."""
+        return self.effective_bucket_loss_rate > 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """True when the config injects any fault at all."""
+        return self.p2p_enabled or self.broadcast_enabled

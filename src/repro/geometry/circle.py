@@ -114,8 +114,13 @@ def circle_rect_intersection_area(circle: Circle, rect: Rect) -> float:
     for lo, hi in zip(xs, xs[1:]):
         mid = (lo + hi) / 2.0
         f_mid = math.sqrt(max(0.0, r * r - mid * mid))
-        top_is_circle = f_mid < y2
-        bottom_is_circle = -f_mid > y1
+        # Non-strict comparisons: when the circle is internally tangent
+        # to an edge (f_mid == y2 or -f_mid == y1 at the sampled
+        # midpoint) the circular arc is the binding envelope over the
+        # whole piece — the strict form billed the rect strip instead,
+        # over-reporting the area beyond min(circle, rect).
+        top_is_circle = f_mid <= y2
+        bottom_is_circle = -f_mid >= y1
         top_mid = f_mid if top_is_circle else y2
         bottom_mid = -f_mid if bottom_is_circle else y1
         if top_mid <= bottom_mid:

@@ -25,8 +25,16 @@ class PeerNetwork:
         self.bounds = bounds
         self.tx_range = tx_range
         self._grid = UniformGrid(bounds, cell_size=tx_range)
+        # Traffic accounting.  ``requests_sent`` counts every share
+        # request put on the air (initial broadcasts, multi-hop relay
+        # floods, retries); ``peers_heard`` counts the in-range peers a
+        # request reached; ``responses_received`` counts only actual
+        # responses collected — a peer with nothing cached sends
+        # nothing, so the harness reports it via
+        # :meth:`record_responses` after filtering.
         self.requests_sent = 0
         self.responses_received = 0
+        self.peers_heard = 0
 
     def update_positions(self, xs: np.ndarray, ys: np.ndarray) -> None:
         """Refresh the connectivity snapshot from the mobility fleet."""
@@ -47,8 +55,20 @@ class PeerNetwork:
         neighbours = neighbours[neighbours != host_id]
         if count_traffic:
             self.requests_sent += 1
-            self.responses_received += int(neighbours.size)
+            self.peers_heard += int(neighbours.size)
         return neighbours
+
+    def record_requests(self, count: int) -> None:
+        """Charge ``count`` extra share requests (e.g. retry rounds)."""
+        if count < 0:
+            raise ProtocolError(f"request count must be >= 0, got {count}")
+        self.requests_sent += count
+
+    def record_responses(self, count: int) -> None:
+        """Charge ``count`` share responses actually collected."""
+        if count < 0:
+            raise ProtocolError(f"response count must be >= 0, got {count}")
+        self.responses_received += count
 
     def peers_within_hops(
         self, host_id: int, position: Point, hops: int
@@ -57,7 +77,11 @@ class PeerNetwork:
 
         The paper's system is single-hop (``hops=1``); the multi-hop
         variant is its stated future-work direction — each additional
-        hop floods the share request one radio range further.
+        hop floods the share request one radio range further.  Every
+        relaying node re-broadcasts the request once, so each relay is
+        charged to ``requests_sent`` and its audience to
+        ``peers_heard`` — only the hop-1 broadcast was counted before,
+        under-reporting the flood's real cost on the air.
         """
         if hops < 1:
             raise ProtocolError(f"hops must be >= 1, got {hops}")
@@ -71,7 +95,12 @@ class PeerNetwork:
             next_frontier: list[int] = []
             for node in frontier:
                 node_pos = Point(float(xs[node]), float(ys[node]))
-                for neighbour in self._grid.query_disc(node_pos, self.tx_range):
+                neighbours = self._grid.query_disc(node_pos, self.tx_range)
+                self.requests_sent += 1
+                # The relay itself is inside its own disc; everyone
+                # else within range hears the rebroadcast.
+                self.peers_heard += int(neighbours.size) - 1
+                for neighbour in neighbours:
                     neighbour = int(neighbour)
                     if neighbour not in visited:
                         visited.add(neighbour)

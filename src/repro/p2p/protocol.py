@@ -18,11 +18,25 @@ from ..model import DEFAULT_CATEGORY, POI
 
 @dataclass(frozen=True, slots=True)
 class ShareRequest:
-    """A request for cached spatial data of one POI category."""
+    """A request for cached spatial data of one POI category.
+
+    ``category`` filters responders — a host only answers requests for
+    the category it caches.  ``issued_at`` anchors the fault layer's
+    response deadline: a reply sampled to arrive later than
+    ``issued_at + peer_timeout`` is a deadline miss.
+    """
 
     requester_id: int
     category: str = DEFAULT_CATEGORY
     issued_at: float = 0.0
+
+    def deadline(self, peer_timeout: float) -> float:
+        """Latest acceptable response arrival time under a timeout."""
+        if peer_timeout <= 0:
+            raise ProtocolError(
+                f"peer_timeout must be positive, got {peer_timeout}"
+            )
+        return self.issued_at + peer_timeout
 
 
 @dataclass(frozen=True, slots=True)

@@ -83,7 +83,7 @@ class TestPOICacheBasics:
         pois = poi_grid(2, 2)
         region = Rect(0, 0, 1, 1)
         cache.insert_result(region, pois, 0.0, Point(0, 0))
-        regions, shared = cache.share(now=5.0)
+        regions, shared = cache.share()
         assert regions == [region]
         assert {p.poi_id for p in shared} == {p.poi_id for p in pois}
 

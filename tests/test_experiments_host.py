@@ -109,7 +109,7 @@ class TestKnnPipeline:
         q = Point(10, 10)
         # Prime the host's own cache via a broadcast query.
         host.execute_knn(q, (0, 0), 3, [], client, 0.5, now=0.0)
-        own = host.share_response(now=1.0)
+        own = host.share_response()
         assert own is not None
         result = host.execute_knn(
             q, (0, 0), 1, [own], client, 0.5, now=1.0
@@ -161,4 +161,4 @@ class TestWindowPipeline:
 
     def test_share_response_empty_cache_is_none(self):
         host = make_host()
-        assert host.share_response(now=0.0) is None
+        assert host.share_response() is None

@@ -64,7 +64,28 @@ class TestPeerNetwork:
         net.peers_of(0, Point(0, 0))
         net.peers_of(1, Point(1, 0))
         assert net.requests_sent == 2
-        assert net.responses_received == 4
+        # Peers merely in range only *heard* the request; nobody has
+        # responded yet — responses are recorded by the harness once
+        # actually collected.
+        assert net.peers_heard == 4
+        assert net.responses_received == 0
+        net.record_responses(3)
+        net.record_requests(2)
+        assert net.responses_received == 3
+        assert net.requests_sent == 4
+
+    def test_record_counts_validated(self):
+        net = self.make([(0, 0), (1, 0)])
+        with pytest.raises(ProtocolError):
+            net.record_responses(-1)
+        with pytest.raises(ProtocolError):
+            net.record_requests(-1)
+
+    def test_passive_lookup_counts_nothing(self):
+        net = self.make([(0, 0), (1, 0), (2, 0)], tx_range=10)
+        net.peers_of(0, Point(0, 0), count_traffic=False)
+        assert net.requests_sent == 0
+        assert net.peers_heard == 0
 
     def test_matches_brute_force(self):
         rng = np.random.default_rng(0)

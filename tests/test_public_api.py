@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.cache",
     "repro.core",
     "repro.experiments",
+    "repro.faults",
     "repro.geometry",
     "repro.index",
     "repro.mobility",

@@ -1,0 +1,36 @@
+# Local CI: `make check` chains lint -> tier-1 tests -> traced smoke.
+#
+# ruff and mypy are optional (the CI image may not ship them); their
+# targets detect absence and skip with a notice instead of failing, so
+# `make check` works on a bare python+numpy+pytest toolchain.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test smoke
+
+check: lint test smoke
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo ">> ruff check"; ruff check src tests; \
+	else \
+		echo ">> ruff not installed; skipping lint"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo ">> mypy"; mypy; \
+	else \
+		echo ">> mypy not installed; skipping typecheck"; \
+	fi
+
+test:
+	@echo ">> tier-1 tests"
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	@echo ">> traced bench-quick smoke"
+	$(PYTHON) -m repro.cli bench-quick --figures fig10 \
+		--warmup 30 --measure 20 --trace /tmp/repro-smoke.jsonl > /dev/null
+	$(PYTHON) -m repro.cli trace-summary /tmp/repro-smoke.jsonl \
+		| tail -n 1
+	@rm -f /tmp/repro-smoke.jsonl

@@ -31,6 +31,8 @@ class OnAirClient:
         # Optional unreliable-broadcast fault model (repro.faults.
         # ChannelModel); None means the perfect channel of the paper.
         self.channel = None
+        # Optional repro.obs.Tracer; None means no spans are emitted.
+        self.tracer = None
 
     @classmethod
     def build(
@@ -79,6 +81,7 @@ class OnAirClient:
             lower_bound=lower_bound,
             known_pois=known_pois,
             channel=self.channel,
+            tracer=self.tracer,
         )
 
     def window(
@@ -86,5 +89,10 @@ class OnAirClient:
     ) -> OnAirWindowResult:
         """On-air window query over one or more window fragments."""
         return onair_window(
-            self.server, self.schedule, windows, t_query, channel=self.channel
+            self.server,
+            self.schedule,
+            windows,
+            t_query,
+            channel=self.channel,
+            tracer=self.tracer,
         )

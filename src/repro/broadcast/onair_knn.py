@@ -24,6 +24,7 @@ from ..errors import BroadcastError
 from ..geometry import Circle, Point, Rect
 from ..index import brute_force_knn
 from ..model import POI, QueryResultEntry
+from ..obs import NO_TRACER
 from .schedule import BroadcastSchedule, RetrievalCost
 from .server import BroadcastServer
 
@@ -38,6 +39,12 @@ class KnnPlan:
     lower-bound filter proves redundant.  ``bonus_regions`` are the
     aligned square blocks fully contained in the downloaded segment —
     regions the client may cache as verified beyond the search MBR.
+
+    ``k_clamped`` flags a request for more neighbours than the
+    database holds: the retrieval will return every POI there is, and
+    ``result_size < k`` is then a property of the database, not a
+    protocol failure.  Without the flag such an answer was
+    indistinguishable from a genuinely full one.
     """
 
     radius: float
@@ -46,6 +53,7 @@ class KnnPlan:
     skipped_buckets: tuple[int, ...]
     index_read_packets: int
     bonus_regions: tuple[Rect, ...] = ()
+    k_clamped: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +136,7 @@ def plan_knn(
         skipped_buckets=tuple(skipped),
         index_read_packets=index_read,
         bonus_regions=bonus,
+        k_clamped=k > len(server.pois),
     )
 
 
@@ -141,6 +150,7 @@ def onair_knn(
     lower_bound: float | None = None,
     known_pois: tuple[POI, ...] = (),
     channel=None,
+    tracer=None,
 ) -> OnAirKnnResult:
     """Run a full on-air kNN query, returning the exact answer.
 
@@ -149,23 +159,54 @@ def onair_knn(
     ranking, keeping the answer exact even under the lower-bound
     filter.  ``channel`` is an optional unreliable-broadcast fault
     model: lost buckets are recovered by re-tuning at the next index
-    segment, and the recovery shows up in the cost.
+    segment, and the recovery shows up in the cost.  ``tracer`` is an
+    optional :class:`repro.obs.Tracer`; the first scan, the data scan,
+    and any fault recovery each get a span (expected to nest under an
+    enclosing ``query`` span).
     """
-    plan = plan_knn(server, query, k, upper_bound, lower_bound)
-    cost = schedule.retrieve_with_recovery(
-        t_query,
-        plan.bucket_ids,
-        plan.index_read_packets,
-        channel=channel,
-        recovery_index_packets=server.index.tree_probe_packets,
-    )
-    downloaded: list[POI] = []
-    for bucket_id in plan.bucket_ids:
-        downloaded.extend(server.pois_in_bucket(bucket_id))
-    by_id = {poi.poi_id: poi for poi in downloaded}
-    for poi in known_pois:
-        by_id.setdefault(poi.poi_id, poi)
-    results = tuple(brute_force_knn(by_id.values(), query, k))
+    if tracer is None:
+        tracer = NO_TRACER
+    with tracer.span("broadcast.index_scan") as index_span:
+        plan = plan_knn(server, query, k, upper_bound, lower_bound)
+        index_span.set(
+            index_packets=plan.index_read_packets,
+            buckets_planned=len(plan.bucket_ids),
+            buckets_skipped=len(plan.skipped_buckets),
+            filtered=upper_bound is not None,
+            k_clamped=plan.k_clamped,
+        )
+    with tracer.span("broadcast.data_scan") as data_span:
+        cost = schedule.retrieve_with_recovery(
+            t_query,
+            plan.bucket_ids,
+            plan.index_read_packets,
+            channel=channel,
+            recovery_index_packets=server.index.tree_probe_packets,
+        )
+        downloaded: list[POI] = []
+        for bucket_id in plan.bucket_ids:
+            downloaded.extend(server.pois_in_bucket(bucket_id))
+        by_id = {poi.poi_id: poi for poi in downloaded}
+        for poi in known_pois:
+            by_id.setdefault(poi.poi_id, poi)
+        results = tuple(brute_force_knn(by_id.values(), query, k))
+        data_span.set(
+            buckets=cost.buckets_downloaded,
+            tuning_packets=cost.tuning_packets,
+            pois=len(downloaded),
+            sim_s=cost.data_latency,
+        )
+    # The index scan's simulated share is only known once the
+    # retrieval is priced; the span object stays mutable until its
+    # root is exported, so back-fill it here.
+    index_span.set(sim_s=cost.index_latency)
+    if cost.retunes and tracer.enabled:
+        with tracer.span("broadcast.recovery") as recovery_span:
+            recovery_span.set(
+                retunes=cost.retunes,
+                buckets_lost=cost.buckets_lost,
+                sim_s=cost.recovery_latency,
+            )
     return OnAirKnnResult(
         results=results,
         cost=cost,

@@ -18,6 +18,7 @@ from ..errors import BroadcastError
 from ..geometry import Rect
 from ..index import brute_force_window
 from ..model import POI
+from ..obs import NO_TRACER
 from .schedule import BroadcastSchedule, RetrievalCost
 from .server import BroadcastServer
 
@@ -70,6 +71,7 @@ def onair_window(
     windows: Sequence[Rect],
     t_query: float,
     channel=None,
+    tracer=None,
 ) -> OnAirWindowResult:
     """Run an on-air window query over one or more window fragments.
 
@@ -77,24 +79,50 @@ def onair_window(
     original window ``w`` from a partial peer result combine these POIs
     with the peer-verified ones covering ``w - union(windows)``.
     ``channel`` is an optional unreliable-broadcast fault model whose
-    bucket losses are recovered via index-segment re-tunes.
+    bucket losses are recovered via index-segment re-tunes.  ``tracer``
+    is an optional :class:`repro.obs.Tracer` adding index-scan /
+    data-scan / recovery spans (expected to nest under an enclosing
+    ``query`` span).
     """
-    bucket_ids, bonus_regions = plan_window(server, windows)
-    cost = schedule.retrieve_with_recovery(
-        t_query,
-        bucket_ids,
-        server.index.tree_probe_packets,
-        channel=channel,
-        recovery_index_packets=server.index.tree_probe_packets,
-    )
-    downloaded: list[POI] = []
-    for bucket_id in bucket_ids:
-        downloaded.extend(server.pois_in_bucket(bucket_id))
-    hits: dict[int, POI] = {}
-    for window in windows:
-        for poi in brute_force_window(downloaded, window):
-            hits[poi.poi_id] = poi
-    pois = tuple(sorted(hits.values(), key=lambda p: p.poi_id))
+    if tracer is None:
+        tracer = NO_TRACER
+    with tracer.span("broadcast.index_scan") as index_span:
+        bucket_ids, bonus_regions = plan_window(server, windows)
+        index_span.set(
+            index_packets=server.index.tree_probe_packets,
+            windows=len(windows),
+            buckets_planned=len(bucket_ids),
+        )
+    with tracer.span("broadcast.data_scan") as data_span:
+        cost = schedule.retrieve_with_recovery(
+            t_query,
+            bucket_ids,
+            server.index.tree_probe_packets,
+            channel=channel,
+            recovery_index_packets=server.index.tree_probe_packets,
+        )
+        downloaded: list[POI] = []
+        for bucket_id in bucket_ids:
+            downloaded.extend(server.pois_in_bucket(bucket_id))
+        hits: dict[int, POI] = {}
+        for window in windows:
+            for poi in brute_force_window(downloaded, window):
+                hits[poi.poi_id] = poi
+        pois = tuple(sorted(hits.values(), key=lambda p: p.poi_id))
+        data_span.set(
+            buckets=cost.buckets_downloaded,
+            tuning_packets=cost.tuning_packets,
+            pois=len(downloaded),
+            sim_s=cost.data_latency,
+        )
+    index_span.set(sim_s=cost.index_latency)
+    if cost.retunes and tracer.enabled:
+        with tracer.span("broadcast.recovery") as recovery_span:
+            recovery_span.set(
+                retunes=cost.retunes,
+                buckets_lost=cost.buckets_lost,
+                sim_s=cost.recovery_latency,
+            )
     return OnAirWindowResult(
         pois=pois,
         cost=cost,

@@ -32,10 +32,15 @@ from ..errors import BroadcastError
 class RetrievalCost:
     """Outcome of one on-air retrieval.
 
-    ``retunes`` and ``buckets_lost`` are nonzero only on an unreliable
-    channel: each lost data bucket forces the client back to the next
-    index segment (the (1, m) design's crash-recovery property), and
-    every such re-tune adds waiting time and tuning packets.
+    The total ``access_latency`` decomposes into three phases the
+    observability layer reports separately: ``index_latency`` (probe,
+    wait for the next index segment, read it), ``recovery_latency``
+    (extra air time spent re-tuning after lost buckets), and the data
+    scan (the remainder).  ``retunes`` and ``buckets_lost`` are
+    nonzero only on an unreliable channel: each lost data bucket
+    forces the client back to the next index segment (the (1, m)
+    design's crash-recovery property), and every such re-tune adds
+    waiting time and tuning packets.
     """
 
     access_latency: float
@@ -44,11 +49,20 @@ class RetrievalCost:
     buckets_downloaded: int
     retunes: int = 0
     buckets_lost: int = 0
+    index_latency: float = 0.0
+    recovery_latency: float = 0.0
 
     @property
     def tuning_time(self) -> float:
         """Tuning expressed in packets — kept for symmetry with the paper."""
         return float(self.tuning_packets)
+
+    @property
+    def data_latency(self) -> float:
+        """The data-scan share of ``access_latency`` (never negative)."""
+        return max(
+            0.0, self.access_latency - self.index_latency - self.recovery_latency
+        )
 
 
 class BroadcastSchedule:
@@ -170,6 +184,7 @@ class BroadcastSchedule:
             tuning_packets=1 + index_read_packets + len(bucket_ids),
             finish_time=finish,
             buckets_downloaded=len(bucket_ids),
+            index_latency=index_end - t_query,
         )
 
     def retrieve_with_recovery(
@@ -230,4 +245,6 @@ class BroadcastSchedule:
             buckets_downloaded=downloaded,
             retunes=retunes,
             buckets_lost=lost_total,
+            index_latency=cost.index_latency,
+            recovery_latency=finish - cost.finish_time,
         )

@@ -71,6 +71,10 @@ class POICache:
         # verified regions change, so share responses and merged MVRs
         # can be memoised on (host, generation) and stay sound.
         self.generation = 0
+        # Optional repro.obs.Tracer; when set (and enabled) every
+        # insert_result emits a ``cache.insert`` span nested under the
+        # active query span.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -111,12 +115,39 @@ class POICache:
         responses and merged-MVR memos key on the generation, so a
         double bump would invalidate them twice for one change.
         """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            self._insert_result(region, pois, now, host_position, heading)
+            return
+        with tracer.span("cache.insert") as span:
+            added, evicted = self._insert_result(
+                region, pois, now, host_position, heading
+            )
+            span.set(
+                pois_offered=len(pois),
+                pois_added=added,
+                pois_evicted=evicted,
+                regions=len(self._regions),
+                size=len(self._items),
+            )
+
+    def _insert_result(
+        self,
+        region: Rect,
+        pois: Sequence[POI],
+        now: float,
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> tuple[int, int]:
+        """The uninstrumented insert; returns (POIs added, POIs evicted)."""
+        added = 0
         changed = False
         for poi in pois:
             if poi.poi_id in self._items:
                 self._items[poi.poi_id].last_used = now
             else:
                 self._items[poi.poi_id] = CacheItem(poi, now, now)
+                added += 1
                 changed = True
         if not region.is_degenerate():
             changed = True
@@ -129,9 +160,10 @@ class POICache:
                     key=lambda vr: vr.rect.distance_to_point(host_position),
                 )
                 self._regions.remove(farthest)
-        changed |= self._enforce_capacity(now, host_position, heading)
-        if changed:
+        evicted = self._enforce_capacity(now, host_position, heading)
+        if changed or evicted:
             self.generation += 1
+        return added, evicted
 
     def touch(self, poi_ids: Iterable[int], now: float) -> None:
         """Record use of cached POIs (LRU bookkeeping)."""
@@ -171,17 +203,17 @@ class POICache:
 
     def _enforce_capacity(
         self, now: float, host_position: Point, heading: tuple[float, float]
-    ) -> bool:
-        """Evict down to capacity; True when anything was evicted."""
+    ) -> int:
+        """Evict down to capacity; returns the number of POIs evicted."""
         if len(self._items) <= self.capacity:
-            return False
+            return 0
         victims = self.policy.rank_victims(
             list(self._items.values()), host_position, heading
         )
         excess = len(self._items) - self.capacity
         for item in victims[:excess]:
             self._evict(item.poi)
-        return excess > 0
+        return excess
 
     def _evict(self, poi: POI) -> None:
         """Remove one POI, shrinking every region that covers it.

@@ -6,9 +6,14 @@ Usage::
         --measure 400 --out results/fig10.csv
     python -m repro.cli query --region la --k 5 --seed 3
     python -m repro.cli params
+    python -m repro.cli bench-quick --trace trace.jsonl
+    python -m repro.cli trace-summary trace.jsonl
 
 The CSV written by ``figure`` has one row per (region, x, series) —
-see :mod:`repro.experiments.export`.
+see :mod:`repro.experiments.export`.  ``--trace PATH`` (on ``figure``,
+``query``, and ``bench-quick``) records every query's lifecycle as
+JSON-lines spans plus a metrics snapshot; ``trace-summary`` renders
+the per-phase latency breakdown.
 """
 
 from __future__ import annotations
@@ -21,6 +26,14 @@ import time
 from typing import Callable, Sequence
 
 from .faults import FaultConfig
+from .obs import (
+    JsonLinesExporter,
+    MetricsRegistry,
+    Tracer,
+    format_summary,
+    load_trace,
+    summarize_spans,
+)
 from .experiments import (
     Simulation,
     format_series,
@@ -103,6 +116,52 @@ def add_fault_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    """The observability knob shared by the simulation commands."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record query-lifecycle spans + metrics as JSON lines"
+        " (render with `repro trace-summary PATH`)",
+    )
+
+
+class _TraceSession:
+    """CLI-side bundle: tracer + registry + exporter for one command.
+
+    ``sim_kwargs`` plugs straight into Simulation / the figure
+    runners; :meth:`finish` appends the metrics snapshot and closes
+    the file.  A ``None`` path makes every piece inert.
+    """
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self.exporter = JsonLinesExporter(path) if path else None
+        self.registry = MetricsRegistry() if path else None
+        self.tracer = Tracer(sink=self.exporter) if path else None
+
+    @property
+    def active(self) -> bool:
+        return self.exporter is not None
+
+    @property
+    def sim_kwargs(self) -> dict:
+        if not self.active:
+            return {}
+        return {"tracer": self.tracer, "registry": self.registry}
+
+    def finish(self) -> None:
+        if not self.active:
+            return
+        self.exporter.write_metrics(self.registry)
+        self.exporter.close()
+        print(
+            f"wrote {self.exporter.spans_written} spans to {self.path}"
+            f" (render: python -m repro.cli trace-summary {self.path})"
+        )
+
+
 def fault_config_from_args(args: argparse.Namespace) -> FaultConfig | None:
     """Build the opt-in FaultConfig; ``None`` when every knob is off."""
     if (
@@ -136,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument("--out", default=None, help="optional CSV output path")
     add_fault_args(fig)
+    add_trace_arg(fig)
 
     query = sub.add_parser("query", help="run one kNN query in a fresh world")
     query.add_argument("--region", choices=sorted(REGIONS), default="suburbia")
@@ -144,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--warmup", type=int, default=800)
     query.add_argument("--seed", type=int, default=0)
     add_fault_args(query)
+    add_trace_arg(query)
 
     sub.add_parser("params", help="print the Table 3 parameter sets")
 
@@ -175,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--out", default=None, help="optional JSON output path")
     add_fault_args(bench)
+    add_trace_arg(bench)
+
+    ts = sub.add_parser(
+        "trace-summary",
+        help="per-phase latency breakdown of a --trace JSONL file",
+    )
+    ts.add_argument("path", help="trace file written by --trace")
+    ts.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as one JSON document instead of a table",
+    )
     return parser
 
 
@@ -184,12 +257,14 @@ def cmd_figure(args: argparse.Namespace) -> int:
     fault_config = fault_config_from_args(args)
     if fault_config is not None:
         fault_kwargs["fault_config"] = fault_config
+    trace = _TraceSession(args.trace)
     panels = runner(
         area_scale=args.scale,
         warmup_queries=args.warmup,
         measure_queries=args.measure,
         seed=args.seed,
         **fault_kwargs,
+        **trace.sim_kwargs,
     )
     for panel in panels:
         print(format_series(panel))
@@ -197,13 +272,18 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.out:
         path = write_sweep_csv(panels, args.out)
         print(f"wrote {path}")
+    trace.finish()
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+    trace = _TraceSession(args.trace)
     sim = Simulation(
-        params, seed=args.seed, fault_config=fault_config_from_args(args)
+        params,
+        seed=args.seed,
+        fault_config=fault_config_from_args(args),
+        **trace.sim_kwargs,
     )
     sim.run_workload(QueryKind.KNN, 0, args.warmup)
     result = sim.run_knn_query(k=args.k)
@@ -219,6 +299,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     for rank, poi in enumerate(result.answers, start=1):
         print(f"  #{rank}: POI {poi.poi_id} at"
               f" ({poi.x:.2f}, {poi.y:.2f})")
+    trace.finish()
     return 0
 
 
@@ -236,6 +317,12 @@ def _panels_payload(panels) -> list[dict]:
 
 
 def cmd_bench_quick(args: argparse.Namespace) -> int:
+    if args.trace and args.workers != 1:
+        # The tracer and registry are live in-process objects; only the
+        # serial sweep path threads them through without pickling.
+        print("--trace forces --workers 1 (serial sweep)", file=sys.stderr)
+        args.workers = 1
+    trace = _TraceSession(args.trace)
     report: dict = {
         "parameters": {
             "area_scale": args.scale,
@@ -274,6 +361,7 @@ def cmd_bench_quick(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_workers=args.workers,
             **fault_kwargs,
+            **trace.sim_kwargs,
         )
         report["figures"][name] = {
             "wall_clock_s": time.perf_counter() - fig_start,
@@ -293,6 +381,17 @@ def cmd_bench_quick(args: argparse.Namespace) -> int:
             fh.write(document + "\n")
         if not args.json:
             print(f"wrote {args.out}")
+    trace.finish()
+    return 0
+
+
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    spans, _metrics = load_trace(args.path)
+    summary = summarize_spans(spans)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(format_summary(summary))
     return 0
 
 
@@ -313,6 +412,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": cmd_query,
         "params": cmd_params,
         "bench-quick": cmd_bench_quick,
+        "trace-summary": cmd_trace_summary,
     }
     return handlers[args.command](args)
 

@@ -41,14 +41,24 @@ class Resolution(Enum):
     BROADCAST = "broadcast"  # must fall back to the channel
 
 
+ANNOTATE_MODES = ("auto", "always", "never")
+
+
 @dataclass(slots=True)
 class SBNNOutcome:
-    """Everything Algorithm 2 decides before (maybe) going on-air."""
+    """Everything Algorithm 2 decides before (maybe) going on-air.
+
+    ``annotated`` says whether the Lemma 3.2 correctness annotations
+    were computed for this outcome — under ``annotate="auto"`` they
+    are skipped exactly when they cannot decide the approximate path,
+    which leaves ``correctness=None`` on the heap entries.
+    """
 
     resolution: Resolution
     heap: ResultHeap
     mvr: RectUnion
     bounds: SearchBounds
+    annotated: bool = False
 
     @property
     def verified_pois(self) -> tuple[POI, ...]:
@@ -64,29 +74,69 @@ def sbnn(
     accept_approximate: bool = True,
     min_correctness: float = 0.5,
     mvr: RectUnion | None = None,
+    annotate: str = "auto",
+    tracer=None,
 ) -> SBNNOutcome:
     """Algorithm 2 (SBNN), up to the broadcast-channel hand-off.
 
     ``mvr`` optionally supplies a pre-merged (memoised) verified
     region so repeated queries against unchanged peer caches skip the
     MapOverlay step.
+
+    ``annotate`` controls the Lemma 3.2 correctness annotations:
+
+    * ``"auto"`` (default) — only when they can decide the approximate
+      path (heap full, approximation accepted), the historical
+      behaviour.  Queries headed for ``BROADCAST`` therefore carry
+      ``correctness=None`` — fine for the decision, useless for a
+      trace consumer asking *why* the peers fell short.
+    * ``"always"`` — whenever any unverified entry exists (tracing and
+      explanation); never changes the resolution, because the
+      approximate path already required a full heap.
+    * ``"never"`` — skip even decisive annotations (an unannotated
+      full heap falls through to ``BROADCAST``).
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when given,
+    the NNV pass and the annotation pass each get a span
+    (``core.nnv`` / ``core.annotate``).
     """
     if not (0.0 <= min_correctness <= 1.0):
         raise ReproError(
             f"min_correctness must be in [0, 1], got {min_correctness}"
         )
-    heap, mvr = nnv(query, responses, k, mvr=mvr)
+    if annotate not in ANNOTATE_MODES:
+        raise ReproError(
+            f"annotate must be one of {ANNOTATE_MODES}, got {annotate!r}"
+        )
+    if tracer is None:
+        heap, mvr = nnv(query, responses, k, mvr=mvr)
+    else:
+        with tracer.span("core.nnv") as span:
+            heap, mvr = nnv(query, responses, k, mvr=mvr)
+            span.set(
+                responses=len(responses),
+                k=k,
+                heap_size=len(heap),
+                verified=heap.verified_count,
+            )
     # The Lemma 3.2 annotations cost a disc/region area computation per
-    # unverified entry; they only matter when they can decide the
-    # approximate path (heap full, approximation accepted) — skip the
-    # work otherwise.
+    # unverified entry; ``auto`` only pays it when it can decide the
+    # approximate path (heap full, approximation accepted).
     needs_annotation = (
         not mvr.is_empty
-        and heap.unverified_entries
-        and (accept_approximate and heap.is_full)
+        and bool(heap.unverified_entries)
+        and (
+            annotate == "always"
+            or (annotate == "auto" and accept_approximate and heap.is_full)
+        )
     )
     if needs_annotation:
-        annotate_heap(query, heap, mvr, poi_density)
+        if tracer is None:
+            annotate_heap(query, heap, mvr, poi_density)
+        else:
+            with tracer.span("core.annotate") as span:
+                annotate_heap(query, heap, mvr, poi_density)
+                span.set(entries=len(heap.unverified_entries), mode=annotate)
 
     if heap.verified_count >= k:
         resolution = Resolution.VERIFIED
@@ -106,4 +156,5 @@ def sbnn(
         heap=heap,
         mvr=mvr,
         bounds=search_bounds(heap),
+        annotated=needs_annotation,
     )

@@ -31,6 +31,7 @@ class SBWQOutcome:
     verified_pois: tuple[POI, ...]
     remainder_windows: tuple[Rect, ...]
     mvr: RectUnion
+    window: Rect | None = None
 
     @property
     def fully_resolved(self) -> bool:
@@ -38,8 +39,18 @@ class SBWQOutcome:
 
     @property
     def covered_fraction_missing(self) -> float:
-        """Area share of the window still needing the channel."""
-        return sum(r.area for r in self.remainder_windows)
+        """Area *share* of the window still needing the channel, in [0, 1].
+
+        The remainder rectangles are disjoint by construction, so
+        their summed area over the window area is the uncovered
+        fraction.  A zero-area (degenerate) window has nothing left to
+        cover when it resolved and is wholly uncovered otherwise; the
+        result is clamped against floating-point drift either way.
+        """
+        if self.window is None or self.window.area <= 0.0:
+            return 0.0 if not self.remainder_windows else 1.0
+        missing = sum(r.area for r in self.remainder_windows)
+        return min(1.0, max(0.0, missing / self.window.area))
 
 
 def sbwq(
@@ -73,6 +84,7 @@ def sbwq(
             verified_pois=verified,
             remainder_windows=(),
             mvr=mvr,
+            window=window,
         )
     remainder = tuple(mvr.subtract_from_rect(window))
     return SBWQOutcome(
@@ -80,4 +92,5 @@ def sbwq(
         verified_pois=verified,
         remainder_windows=remainder,
         mvr=mvr,
+        window=window,
     )

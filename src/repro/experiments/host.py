@@ -25,6 +25,7 @@ from ..core.heap import HeapEntry
 from ..faults import P2PFaultStats
 from ..geometry import Circle, Point, Rect, RectUnion
 from ..model import DEFAULT_CATEGORY, POI
+from ..obs import NO_TRACER
 from ..p2p import ShareRequest, ShareResponse
 from ..workloads import QueryKind
 from .metrics import QueryRecord
@@ -120,14 +121,19 @@ class MobileHost:
         min_correctness: float = 0.5,
         cache_gossip: bool = True,
         fault_stats: P2PFaultStats | None = None,
+        tracer=None,
     ) -> HostQueryResult:
         """The full SBNN pipeline for one kNN query (Algorithm 2).
 
         ``fault_stats`` is what the unreliable channel did to the share
         exchange (drops, retries, deadline misses); its extra latency
         is charged to the query and its counters stamped on the record.
+        ``tracer`` (a :class:`repro.obs.Tracer`) adds the core spans
+        and switches the Lemma 3.2 annotations to ``"always"`` so
+        traced broadcast-bound queries still explain the peers' answer.
         """
         faults = fault_stats if fault_stats is not None else NO_FAULTS
+        tracing = tracer is not None and tracer.enabled
         outcome = sbnn(
             position,
             responses,
@@ -136,6 +142,8 @@ class MobileHost:
             accept_approximate=accept_approximate,
             min_correctness=min_correctness,
             mvr=self._mvr_memo.merged(responses),
+            annotate="always" if tracing else "auto",
+            tracer=tracer if tracing else None,
         )
         peer_count = sum(
             1 for r in responses if r.peer_id != self.host_id
@@ -264,10 +272,21 @@ class MobileHost:
         now: float,
         p2p_latency: float = 0.05,
         fault_stats: P2PFaultStats | None = None,
+        tracer=None,
     ) -> HostQueryResult:
         """The full SBWQ pipeline for one window query (Algorithm 3)."""
         faults = fault_stats if fault_stats is not None else NO_FAULTS
-        outcome = sbwq(window, responses, mvr=self._mvr_memo.merged(responses))
+        span_tracer = tracer if tracer is not None else NO_TRACER
+        with span_tracer.span("core.sbwq") as span:
+            outcome = sbwq(
+                window, responses, mvr=self._mvr_memo.merged(responses)
+            )
+            span.set(
+                responses=len(responses),
+                verified_pois=len(outcome.verified_pois),
+                remainder_windows=len(outcome.remainder_windows),
+                covered_fraction_missing=outcome.covered_fraction_missing,
+            )
         peer_count = sum(
             1 for r in responses if r.peer_id != self.host_id
         )
@@ -289,6 +308,7 @@ class MobileHost:
                     peer_count=peer_count,
                     window_area=window.area,
                     result_size=len(outcome.verified_pois),
+                    covered_fraction_missing=outcome.covered_fraction_missing,
                     p2p_drops=faults.drops,
                     p2p_retries=faults.retries,
                     p2p_deadline_misses=faults.deadline_misses,
@@ -335,6 +355,7 @@ class MobileHost:
                 peer_count=peer_count,
                 window_area=window.area,
                 result_size=len(ordered),
+                covered_fraction_missing=outcome.covered_fraction_missing,
                 p2p_drops=faults.drops,
                 p2p_retries=faults.retries,
                 p2p_deadline_misses=faults.deadline_misses,

@@ -10,22 +10,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
+from typing import TYPE_CHECKING
 
 from ..core import Resolution
 from ..errors import ExperimentError
 from ..workloads import QueryKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
 class QueryRecord:
     """Everything measured about one executed query.
 
-    The trailing fault counters stay zero in a perfect-channel run:
-    ``p2p_drops`` (lost messages and churned peers), ``p2p_retries``
-    (extra request broadcasts), ``p2p_deadline_misses`` (responses
-    past the deadline), ``recovery_retunes`` (index-segment re-tunes
-    after a lost data bucket), and ``buckets_lost`` (data buckets
-    re-downloaded because a copy was corrupted).
+    ``covered_fraction_missing`` is the window-query area share (in
+    [0, 1]) the peers could *not* cover — the part priced on the
+    broadcast channel; it stays 0.0 for kNN queries and fully resolved
+    windows.  The trailing fault counters stay zero in a
+    perfect-channel run: ``p2p_drops`` (lost messages and churned
+    peers), ``p2p_retries`` (extra request broadcasts),
+    ``p2p_deadline_misses`` (responses past the deadline),
+    ``recovery_retunes`` (index-segment re-tunes after a lost data
+    bucket), and ``buckets_lost`` (data buckets re-downloaded because
+    a copy was corrupted).
     """
 
     time: float
@@ -39,6 +47,7 @@ class QueryRecord:
     k: int = 0
     window_area: float = 0.0
     result_size: int = 0
+    covered_fraction_missing: float = 0.0
     p2p_drops: int = 0
     p2p_retries: int = 0
     p2p_deadline_misses: int = 0
@@ -47,13 +56,57 @@ class QueryRecord:
 
 
 class MetricsCollector:
-    """Aggregates query records into the figures' percentages."""
+    """Aggregates query records into the figures' percentages.
 
-    def __init__(self) -> None:
+    Empty-collector contract: every aggregate over *all* records
+    (``percentage``, ``summary``, the ``mean_*`` family) raises
+    :class:`~repro.errors.ExperimentError` when nothing has been
+    collected — a silent 0.0 used to poison sweep aggregates.  A
+    *filtered* mean over a non-empty collector whose filter matches
+    nothing (e.g. broadcast latency in a run every query resolved
+    peer-side) is a genuine "no such cost" and stays 0.0.
+
+    ``registry`` optionally names a :class:`repro.obs.MetricsRegistry`
+    every added record is mirrored into — the single sink unifying the
+    query, retrieval-cost, and fault counters.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
         self.records: list[QueryRecord] = []
+        self.registry = registry
 
     def add(self, record: QueryRecord) -> None:
         self.records.append(record)
+        if self.registry is not None:
+            self._observe(record)
+
+    def _observe(self, record: QueryRecord) -> None:
+        from ..obs import LATENCY_BUCKETS_S, TUNING_BUCKETS
+
+        registry = self.registry
+        registry.counter(f"query.resolved.{record.resolution.value}").inc()
+        registry.histogram(
+            "query.access_latency_s", LATENCY_BUCKETS_S
+        ).observe(record.access_latency)
+        registry.histogram(
+            "query.tuning_packets", TUNING_BUCKETS
+        ).observe(record.tuning_packets)
+        registry.counter("broadcast.buckets_downloaded").inc(
+            record.buckets_downloaded
+        )
+        registry.counter("p2p.peers_responded").inc(record.peer_count)
+        if record.kind is QueryKind.WINDOW:
+            registry.histogram(
+                "query.covered_fraction_missing",
+                (0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+            ).observe(record.covered_fraction_missing)
+        registry.counter("faults.p2p_drops").inc(record.p2p_drops)
+        registry.counter("faults.p2p_retries").inc(record.p2p_retries)
+        registry.counter("faults.p2p_deadline_misses").inc(
+            record.p2p_deadline_misses
+        )
+        registry.counter("faults.recovery_retunes").inc(record.recovery_retunes)
+        registry.counter("faults.buckets_lost").inc(record.buckets_lost)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -64,8 +117,7 @@ class MetricsCollector:
 
     def percentage(self, resolution: Resolution) -> float:
         """Share of queries resolved by the given path, in percent."""
-        if not self.records:
-            raise ExperimentError("no records collected")
+        self._require_records()
         return 100.0 * self.count(resolution) / len(self.records)
 
     @property
@@ -81,7 +133,12 @@ class MetricsCollector:
         return self.percentage(Resolution.BROADCAST)
 
     # ------------------------------------------------------------------
+    def _require_records(self) -> None:
+        if not self.records:
+            raise ExperimentError("no records collected")
+
     def mean_latency(self, resolution: Resolution | None = None) -> float:
+        self._require_records()
         latencies = [
             r.access_latency
             for r in self.records
@@ -90,6 +147,7 @@ class MetricsCollector:
         return mean(latencies) if latencies else 0.0
 
     def mean_tuning(self, resolution: Resolution | None = None) -> float:
+        self._require_records()
         tunings = [
             r.tuning_packets
             for r in self.records
@@ -98,7 +156,8 @@ class MetricsCollector:
         return mean(tunings) if tunings else 0.0
 
     def mean_peer_count(self) -> float:
-        return mean(r.peer_count for r in self.records) if self.records else 0.0
+        self._require_records()
+        return mean(r.peer_count for r in self.records)
 
     def total_buckets(self) -> int:
         return sum(r.buckets_downloaded for r in self.records)
@@ -128,8 +187,7 @@ class MetricsCollector:
 
     def fault_summary(self) -> dict[str, float]:
         """The degradation benchmark's counters, as a flat dict."""
-        if not self.records:
-            raise ExperimentError("no records collected")
+        self._require_records()
         return {
             "hit_ratio": self.hit_ratio,
             "drops": float(self.total_drops()),
@@ -142,8 +200,7 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, float]:
         """A flat dict for reporting tables."""
-        if not self.records:
-            raise ExperimentError("no records collected")
+        self._require_records()
         return {
             "queries": float(len(self.records)),
             "pct_verified": self.pct_verified,

@@ -25,6 +25,7 @@ from ..faults import ChannelModel, FaultConfig, P2PFaultStats
 from ..geometry import Point, Rect
 from ..mobility import WaypointFleet
 from ..model import POI
+from ..obs import NO_TRACER
 from ..p2p import PeerNetwork, ShareRequest, ShareResponse
 from ..sim import Environment
 from ..workloads import (
@@ -68,6 +69,8 @@ class Simulation:
         enable_sharing: bool = True,
         pois: Sequence[POI] | None = None,
         fault_config: FaultConfig | None = None,
+        tracer=None,
+        registry=None,
     ):
         if position_refresh_interval <= 0:
             raise ExperimentError("position_refresh_interval must be positive")
@@ -86,6 +89,13 @@ class Simulation:
         # With sharing disabled the simulator degrades to the pure
         # on-air system of Zheng et al. — the paper's baseline.
         self.enable_sharing = enable_sharing
+        # Observability is strictly opt-in too: without a tracer the
+        # shared no-op tracer is used (no spans, no allocations) and
+        # without a registry no metrics are mirrored — tracing never
+        # touches an RNG, so traced and untraced runs stay
+        # bit-identical in every recorded metric.
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        self.registry = registry
         # The fault layer is strictly opt-in: without an enabled
         # config no ChannelModel exists, no fault RNG is ever drawn,
         # and every run is bit-identical to a perfect-channel one.
@@ -112,6 +122,8 @@ class Simulation:
         )
         if self.faults is not None and fault_config.broadcast_enabled:
             self.station.client.channel = self.faults
+        if self.tracer.enabled:
+            self.station.client.tracer = self.tracer
         speed_mi_s = (
             speed_range_mph[0] / SECONDS_PER_HOUR,
             speed_range_mph[1] / SECONDS_PER_HOUR,
@@ -131,6 +143,8 @@ class Simulation:
         region_cap = (
             max_regions if max_regions is not None else max(4, params.cache_size)
         )
+        if registry is not None:
+            self.network.attach_registry(registry)
         self.hosts = [
             MobileHost(
                 i,
@@ -142,6 +156,9 @@ class Simulation:
             )
             for i in range(params.mh_number)
         ]
+        if self.tracer.enabled:
+            for host in self.hosts:
+                host.cache.tracer = self.tracer
         self.env = Environment()
         self._xs: np.ndarray | None = None
         self._ys: np.ndarray | None = None
@@ -297,43 +314,96 @@ class Simulation:
         )
 
     def execute_query(self, event: QueryEvent) -> HostQueryResult:
-        """Run one query event through the full pipeline."""
+        """Run one query event through the full pipeline.
+
+        Under tracing every query becomes one span tree rooted at
+        ``query``: the share exchange (``p2p.collect``), the core
+        decision (``core.nnv``/``core.annotate`` or ``core.sbwq``),
+        any broadcast fall-back (``broadcast.index_scan`` /
+        ``broadcast.data_scan`` / ``broadcast.recovery``), and the
+        cache updates (``cache.insert``).
+        """
         self._maybe_refresh(event.time)
         host = self.hosts[event.host_id]
         position = self.host_position(event.host_id)
         heading = self.host_heading(event.host_id)
-        responses, fault_stats = self._collect_responses(
-            event.host_id, position, event.time
-        )
-        if event.kind is QueryKind.KNN:
-            result = host.execute_knn(
-                position,
-                heading,
-                event.k,
-                responses,
-                self.station.client,
-                self.poi_density,
-                event.time,
-                p2p_latency=self.p2p_latency * self.p2p_hops,
-                accept_approximate=self.accept_approximate,
-                min_correctness=self.min_correctness,
-                cache_gossip=self.cache_gossip,
-                fault_stats=fault_stats,
-            )
-        else:
-            window = event.window_for(position, self.params.bounds)
-            result = host.execute_window(
-                position,
-                heading,
-                window,
-                responses,
-                self.station.client,
-                event.time,
-                p2p_latency=self.p2p_latency * self.p2p_hops,
-                fault_stats=fault_stats,
-            )
-        if self.overhear and result.shared:
-            self._spread_overheard(event.host_id, result, event.time)
+        tracer = self.tracer
+        with tracer.span("query") as query_span:
+            with tracer.span("p2p.collect") as p2p_span:
+                responses, fault_stats = self._collect_responses(
+                    event.host_id, position, event.time
+                )
+                if p2p_span.enabled:
+                    peers_responded = sum(
+                        1 for r in responses if r.peer_id != event.host_id
+                    )
+                    # The same share-exchange latency the host charges
+                    # to the record: one round trip when any peer
+                    # answered, plus whatever faults added.
+                    sim_s = (
+                        self.p2p_latency * self.p2p_hops
+                        if peers_responded
+                        else 0.0
+                    ) + fault_stats.extra_latency
+                    p2p_span.set(
+                        peers_responded=peers_responded,
+                        drops=fault_stats.drops,
+                        retries=fault_stats.retries,
+                        deadline_misses=fault_stats.deadline_misses,
+                        sim_s=sim_s,
+                    )
+            if event.kind is QueryKind.KNN:
+                result = host.execute_knn(
+                    position,
+                    heading,
+                    event.k,
+                    responses,
+                    self.station.client,
+                    self.poi_density,
+                    event.time,
+                    p2p_latency=self.p2p_latency * self.p2p_hops,
+                    accept_approximate=self.accept_approximate,
+                    min_correctness=self.min_correctness,
+                    cache_gossip=self.cache_gossip,
+                    fault_stats=fault_stats,
+                    tracer=tracer if tracer.enabled else None,
+                )
+            else:
+                window = event.window_for(position, self.params.bounds)
+                result = host.execute_window(
+                    position,
+                    heading,
+                    window,
+                    responses,
+                    self.station.client,
+                    event.time,
+                    p2p_latency=self.p2p_latency * self.p2p_hops,
+                    fault_stats=fault_stats,
+                    tracer=tracer if tracer.enabled else None,
+                )
+            if self.overhear and result.shared:
+                self._spread_overheard(event.host_id, result, event.time)
+            if query_span.enabled:
+                record = result.record
+                query_span.set(
+                    time=record.time,
+                    host_id=record.host_id,
+                    kind=record.kind.value,
+                    resolution=record.resolution.value,
+                    access_latency=record.access_latency,
+                    tuning_packets=record.tuning_packets,
+                    peer_count=record.peer_count,
+                    result_size=record.result_size,
+                )
+                if record.kind is QueryKind.KNN:
+                    query_span.set(k=record.k)
+                else:
+                    query_span.set(
+                        window_area=record.window_area,
+                        covered_fraction_missing=(
+                            record.covered_fraction_missing
+                        ),
+                    )
         return result
 
     def _spread_overheard(
@@ -378,7 +448,7 @@ class Simulation:
         workload = QueryWorkload(
             self.params, kind, self.rng, start_time=self.env.now
         )
-        collector = MetricsCollector()
+        collector = MetricsCollector(registry=self.registry)
         total = warmup_queries + measure_queries
 
         def driver(env: Environment):

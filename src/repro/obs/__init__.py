@@ -1,0 +1,46 @@
+"""repro.obs — zero-dependency query-lifecycle observability.
+
+Three pieces, all optional and all free when unused:
+
+* **Spans** (:mod:`repro.obs.trace`) — hierarchical per-query phase
+  timing (``query`` → ``p2p.collect`` → ``core.nnv`` →
+  ``broadcast.index_scan`` / ``broadcast.data_scan`` …) carrying wall
+  time plus domain attributes; the shared :data:`NO_TRACER` makes the
+  disabled path allocation-free.
+* **Metrics** (:mod:`repro.obs.metrics`) — a registry of counters and
+  fixed-bucket histograms that the experiment collectors and the P2P
+  traffic accounting feed through.
+* **Export** (:mod:`repro.obs.export` / :mod:`repro.obs.summary`) —
+  JSON-lines trace files and the per-phase latency breakdown behind
+  ``repro trace-summary``.
+"""
+
+from .export import JsonLinesExporter, load_trace
+from .metrics import (
+    Counter,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    TUNING_BUCKETS,
+)
+from .summary import PhaseStats, TraceSummary, format_summary, summarize_spans
+from .trace import NO_TRACER, NullSpan, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "JsonLinesExporter",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "NO_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "PhaseStats",
+    "Span",
+    "TUNING_BUCKETS",
+    "TraceSummary",
+    "Tracer",
+    "format_summary",
+    "load_trace",
+    "summarize_spans",
+]

@@ -1,0 +1,81 @@
+"""JSON-lines trace export and re-import.
+
+One trace file holds one line per *root* span (a full query tree,
+nested) plus, typically as the last line, one ``metrics`` document —
+the registry snapshot.  Every line is a self-describing object with a
+``kind`` field (``"span"`` or ``"metrics"``), so the file can be
+tailed, grepped, and appended to across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
+    from .trace import Span
+
+__all__ = ["JsonLinesExporter", "load_trace"]
+
+
+class JsonLinesExporter:
+    """A :class:`~repro.obs.trace.Tracer` sink writing JSONL to a path."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w")
+        self.spans_written = 0
+
+    def __call__(self, span: "Span") -> None:
+        document = span.to_dict()
+        document["kind"] = "span"
+        self._fh.write(json.dumps(document, separators=(",", ":")) + "\n")
+        self.spans_written += 1
+
+    def write_metrics(self, registry: "MetricsRegistry") -> None:
+        """Append the registry snapshot as a ``metrics`` line."""
+        document = registry.snapshot()
+        document["kind"] = "metrics"
+        self._fh.write(json.dumps(document, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def load_trace(path: str) -> tuple[list[dict], dict | None]:
+    """Read a JSONL trace: (root span dicts, last metrics snapshot).
+
+    Unknown ``kind`` lines are skipped so future producers stay
+    readable; malformed JSON raises :class:`~repro.errors.ReproError`
+    with the offending line number.
+    """
+    spans: list[dict] = []
+    metrics: dict | None = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            kind = document.get("kind")
+            if kind == "span":
+                spans.append(document)
+            elif kind == "metrics":
+                metrics = document
+    return spans, metrics

@@ -1,0 +1,130 @@
+"""Counters and fixed-bucket histograms — the single metrics sink.
+
+The experiment stack used to smear per-query cost over three
+unrelated structs (``QueryRecord``, ``RetrievalCost``, the fault
+counters).  A :class:`MetricsRegistry` is the one place they all feed
+through: :class:`~repro.experiments.metrics.MetricsCollector` pushes
+every record it aggregates into the registry it was built with, and
+:class:`~repro.p2p.network.PeerNetwork` mirrors its traffic counters
+into one.  The registry is pure bookkeeping — no clocks, no I/O, no
+dependencies — so it prices millions of observations cheaply and
+snapshots to plain dicts for the JSONL trace exporter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "TUNING_BUCKETS",
+]
+
+# Fixed default bucket ladders.  Latencies are simulated seconds
+# (packet times are ~0.1 s, broadcast cycles tens of seconds);
+# tuning/bucket counts are small integers.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
+TUNING_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus running sum/min/max.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything beyond the last edge.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name} needs sorted, non-empty bounds")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                f"le_{bound:g}": n for bound, n in zip(self.bounds, self.counts)
+            }
+            | {"overflow": self.counts[-1]},
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS_S
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-ready dict (sorted names)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }

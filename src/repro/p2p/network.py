@@ -35,6 +35,18 @@ class PeerNetwork:
         self.requests_sent = 0
         self.responses_received = 0
         self.peers_heard = 0
+        # Optional repro.obs counters mirroring the three tallies, so
+        # the observability registry is the single sink for traffic
+        # accounting too.  None (the default) costs one comparison.
+        self._counters = None
+
+    def attach_registry(self, registry) -> None:
+        """Mirror the traffic counters into a repro.obs registry."""
+        self._counters = (
+            registry.counter("p2p.requests_sent"),
+            registry.counter("p2p.peers_heard"),
+            registry.counter("p2p.responses_received"),
+        )
 
     def update_positions(self, xs: np.ndarray, ys: np.ndarray) -> None:
         """Refresh the connectivity snapshot from the mobility fleet."""
@@ -56,6 +68,9 @@ class PeerNetwork:
         if count_traffic:
             self.requests_sent += 1
             self.peers_heard += int(neighbours.size)
+            if self._counters is not None:
+                self._counters[0].inc()
+                self._counters[1].inc(int(neighbours.size))
         return neighbours
 
     def record_requests(self, count: int) -> None:
@@ -63,12 +78,16 @@ class PeerNetwork:
         if count < 0:
             raise ProtocolError(f"request count must be >= 0, got {count}")
         self.requests_sent += count
+        if self._counters is not None:
+            self._counters[0].inc(count)
 
     def record_responses(self, count: int) -> None:
         """Charge ``count`` share responses actually collected."""
         if count < 0:
             raise ProtocolError(f"response count must be >= 0, got {count}")
         self.responses_received += count
+        if self._counters is not None:
+            self._counters[2].inc(count)
 
     def peers_within_hops(
         self, host_id: int, position: Point, hops: int
@@ -100,6 +119,9 @@ class PeerNetwork:
                 # The relay itself is inside its own disc; everyone
                 # else within range hears the rebroadcast.
                 self.peers_heard += int(neighbours.size) - 1
+                if self._counters is not None:
+                    self._counters[0].inc()
+                    self._counters[1].inc(max(0, int(neighbours.size) - 1))
                 for neighbour in neighbours:
                     neighbour = int(neighbour)
                     if neighbour not in visited:

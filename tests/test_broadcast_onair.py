@@ -244,3 +244,34 @@ class TestOnAirProperties:
         result = client.window([window])
         expected = brute_force_window(pois, window)
         assert [p.poi_id for p in result.pois] == [p.poi_id for p in expected]
+
+
+class TestKClampSurfacing:
+    """Regression: k > |POIs| used to clamp silently; the plan (and
+    the index_scan span) must now say so."""
+
+    def test_clamp_flag_set(self):
+        client, pois = make_world(5, seed=5)
+        result = client.knn(Point(10, 10), 50)
+        assert result.plan.k_clamped is True
+        assert len(result.results) == len(pois)
+
+    def test_clamp_flag_clear_for_satisfiable_k(self):
+        client, _ = make_world(50, seed=6)
+        result = client.knn(Point(10, 10), 3)
+        assert result.plan.k_clamped is False
+        assert len(result.results) == 3
+
+    def test_clamp_reported_on_index_scan_span(self):
+        from repro.obs import Tracer
+
+        client, _ = make_world(5, seed=7)
+        tracer = Tracer()
+        with tracer.span("query"):
+            client.tracer = tracer
+            client.knn(Point(10, 10), 50)
+        root = tracer.roots[0].to_dict()
+        index_scan = next(
+            c for c in root["children"] if c["name"] == "broadcast.index_scan"
+        )
+        assert index_scan["attributes"]["k_clamped"] is True

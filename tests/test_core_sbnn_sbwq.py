@@ -7,9 +7,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.broadcast import OnAirClient
-from repro.core import Resolution, sbnn, sbwq
+from repro.core import Resolution, SBWQOutcome, sbnn, sbwq
 from repro.errors import ReproError
-from repro.geometry import Point, Rect
+from repro.geometry import Point, Rect, RectUnion
 from repro.index import brute_force_knn, brute_force_window
 from repro.model import POI
 from repro.p2p import ShareResponse
@@ -236,3 +236,131 @@ class TestSBWQ:
             answer |= {p.poi_id for p in onair.pois}
         expected = {p.poi_id for p in brute_force_window(pois, window)}
         assert answer == expected
+
+
+class TestSBWQCoveredFraction:
+    """The covered_fraction_missing accounting bugfix: it must be an
+    area *share* of the query window in [0, 1], not absolute area."""
+
+    def test_no_peers_fraction_is_one(self):
+        # Pre-fix this returned the absolute remainder area (4.0 here).
+        outcome = sbwq(Rect(1, 1, 3, 3), [])
+        assert outcome.covered_fraction_missing == pytest.approx(1.0)
+
+    def test_fully_covered_fraction_is_zero(self):
+        pois = make_pois(seed=3)
+        outcome = sbwq(
+            Rect(4, 4, 8, 8), [honest_response(0, Rect(2, 2, 12, 12), pois)]
+        )
+        assert outcome.covered_fraction_missing == 0.0
+
+    def test_partial_coverage_fraction(self):
+        pois = make_pois(seed=4)
+        vr = Rect(0, 0, 6, 20)  # covers windows's x in [4, 6] of [4, 10]
+        outcome = sbwq(Rect(4, 4, 10, 8), [honest_response(0, vr, pois)])
+        assert outcome.covered_fraction_missing == pytest.approx(4 / 6)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_fraction_always_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        pois = make_pois(n=80, seed=seed + 1)
+        responses = []
+        for peer_id in range(int(rng.integers(0, 4))):
+            x1, y1 = rng.uniform(0, 15, 2)
+            vr = Rect(x1, y1, x1 + rng.uniform(1, 8), y1 + rng.uniform(1, 8))
+            responses.append(honest_response(peer_id, vr, pois))
+        x1, y1 = rng.uniform(0, 16, 2)
+        window = Rect(x1, y1, x1 + rng.uniform(0.5, 4), y1 + rng.uniform(0.5, 4))
+        outcome = sbwq(window, responses)
+        fraction = outcome.covered_fraction_missing
+        assert 0.0 <= fraction <= 1.0
+        if outcome.resolution is Resolution.VERIFIED:
+            assert fraction == 0.0
+        else:
+            assert fraction > 0.0
+
+    def test_degenerate_window(self):
+        degenerate = Rect(2, 2, 2, 5)  # zero area
+        resolved = SBWQOutcome(
+            resolution=Resolution.VERIFIED,
+            verified_pois=(),
+            remainder_windows=(),
+            mvr=RectUnion(()),
+            window=degenerate,
+        )
+        assert resolved.covered_fraction_missing == 0.0
+        unresolved = SBWQOutcome(
+            resolution=Resolution.BROADCAST,
+            verified_pois=(),
+            remainder_windows=(degenerate,),
+            mvr=RectUnion(()),
+            window=degenerate,
+        )
+        assert unresolved.covered_fraction_missing == 1.0
+
+
+class TestAnnotateKnob:
+    """The annotate= knob: BROADCAST outcomes can now carry Lemma 3.2
+    correctness annotations without changing any resolution."""
+
+    def broadcast_setup(self):
+        # Two candidates for k=3: the near one verifies, the far one's
+        # verification disc exits the VR (unverified), and the heap
+        # stays short — so "auto" skips annotation and the query goes
+        # to broadcast with an unannotated unverified entry.
+        pois = [POI(0, Point(10, 10.05)), POI(1, Point(10.5, 10))]
+        vr = Rect(0, 0, 20, 10.2)
+        return Point(10, 10), [ShareResponse(0, (vr,), tuple(pois))]
+
+    def test_auto_skips_annotation_on_broadcast(self):
+        q, responses = self.broadcast_setup()
+        outcome = sbnn(q, responses, k=3, poi_density=0.05)
+        assert outcome.resolution is Resolution.BROADCAST
+        assert not outcome.annotated
+        assert all(e.correctness is None for e in outcome.heap.unverified_entries)
+
+    def test_always_annotates_broadcast_without_changing_resolution(self):
+        q, responses = self.broadcast_setup()
+        auto = sbnn(q, responses, k=3, poi_density=0.05)
+        always = sbnn(q, responses, k=3, poi_density=0.05, annotate="always")
+        assert always.resolution is auto.resolution is Resolution.BROADCAST
+        assert always.annotated
+        assert all(
+            e.correctness is not None for e in always.heap.unverified_entries
+        )
+
+    def test_never_refuses_approximate(self):
+        # Same world with k=2: the heap fills, the unverified sliver is
+        # tiny, so auto resolves APPROXIMATE; "never" leaves
+        # correctness unset so the same query falls to BROADCAST.
+        q, responses = self.broadcast_setup()
+        auto = sbnn(q, responses, k=2, poi_density=0.05, accept_approximate=True)
+        never = sbnn(
+            q, responses, k=2, poi_density=0.05,
+            accept_approximate=True, annotate="never",
+        )
+        assert auto.resolution is Resolution.APPROXIMATE
+        assert never.resolution is Resolution.BROADCAST
+        assert not never.annotated
+
+    def test_resolution_invariant_auto_vs_always(self):
+        # Property: "always" is pure metadata — resolutions match
+        # "auto" across random worlds.
+        rng = np.random.default_rng(11)
+        pois = make_pois(n=100, seed=12)
+        for _ in range(25):
+            responses = []
+            for peer_id in range(int(rng.integers(0, 4))):
+                x1, y1 = rng.uniform(0, 15, 2)
+                vr = Rect(x1, y1, x1 + rng.uniform(1, 8), y1 + rng.uniform(1, 8))
+                responses.append(honest_response(peer_id, vr, pois))
+            q = Point(*rng.uniform(2, 18, 2))
+            k = int(rng.integers(1, 6))
+            auto = sbnn(q, responses, k=k, poi_density=0.25)
+            always = sbnn(q, responses, k=k, poi_density=0.25, annotate="always")
+            assert auto.resolution is always.resolution
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ReproError):
+            sbnn(Point(1, 1), [], k=2, poi_density=0.5, annotate="sometimes")

@@ -263,3 +263,79 @@ class TestSharingEffectiveness:
             QueryKind.KNN, 300, 200
         )
         assert with_overhear.pct_broadcast <= without.pct_broadcast
+
+
+class TestEmptyCollectorContract:
+    """The empty-collector unification bugfix: every whole-collector
+    aggregate raises on zero records (percentage already did; the
+    mean_* family silently returned 0.0 and poisoned sweep averages)."""
+
+    def make_record(self, resolution=Resolution.VERIFIED, **kwargs):
+        defaults = dict(
+            time=0.0,
+            host_id=0,
+            kind=QueryKind.KNN,
+            resolution=resolution,
+            access_latency=1.0,
+            tuning_packets=3,
+            buckets_downloaded=2,
+            peer_count=1,
+        )
+        defaults.update(kwargs)
+        return QueryRecord(**defaults)
+
+    def test_all_aggregates_raise_when_empty(self):
+        collector = MetricsCollector()
+        for aggregate in (
+            collector.mean_latency,
+            collector.mean_tuning,
+            collector.mean_peer_count,
+            collector.fault_summary,
+            collector.summary,
+            lambda: collector.percentage(Resolution.VERIFIED),
+        ):
+            with pytest.raises(ExperimentError):
+                aggregate()
+
+    def test_filtered_mean_on_nonempty_collector_stays_zero(self):
+        # Every query resolved peer-side: "broadcast latency" is a
+        # genuine no-such-cost, not an error.
+        collector = MetricsCollector()
+        collector.add(self.make_record(Resolution.VERIFIED))
+        assert collector.mean_latency(Resolution.BROADCAST) == 0.0
+        assert collector.mean_tuning(Resolution.BROADCAST) == 0.0
+        assert collector.summary()["mean_latency_broadcast"] == 0.0
+
+    def test_registry_mirroring(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collector = MetricsCollector(registry=registry)
+        collector.add(self.make_record(Resolution.VERIFIED))
+        collector.add(
+            self.make_record(
+                Resolution.BROADCAST,
+                kind=QueryKind.WINDOW,
+                covered_fraction_missing=0.4,
+                p2p_drops=2,
+            )
+        )
+        snap = registry.snapshot()
+        assert snap["counters"]["query.resolved.verified"] == 1
+        assert snap["counters"]["query.resolved.broadcast"] == 1
+        assert snap["counters"]["faults.p2p_drops"] == 2
+        assert snap["histograms"]["query.access_latency_s"]["count"] == 2
+        # Only window queries feed the coverage histogram.
+        assert snap["histograms"]["query.covered_fraction_missing"]["count"] == 1
+
+
+class TestWindowRecordCoverage:
+    def test_window_records_carry_covered_fraction(self):
+        sim = tiny_sim(seed=5)
+        collector = sim.run_workload(QueryKind.WINDOW, 50, 80)
+        for record in collector.records:
+            assert 0.0 <= record.covered_fraction_missing <= 1.0
+            if record.resolution is Resolution.VERIFIED:
+                assert record.covered_fraction_missing == 0.0
+            else:
+                assert record.covered_fraction_missing > 0.0

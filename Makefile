@@ -1,4 +1,5 @@
-# Local CI: `make check` chains lint -> tier-1 tests -> traced smoke.
+# Local CI: `make check` chains lint -> tier-1 tests -> traced smoke
+# -> a fixed-seed differential-oracle smoke (faults off and on).
 #
 # ruff and mypy are optional (the CI image may not ship them); their
 # targets detect absence and skip with a notice instead of failing, so
@@ -7,9 +8,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test smoke
+.PHONY: check lint test smoke oracle-smoke
 
-check: lint test smoke
+check: lint test smoke oracle-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -34,3 +35,7 @@ smoke:
 	$(PYTHON) -m repro.cli trace-summary /tmp/repro-smoke.jsonl \
 		| tail -n 1
 	@rm -f /tmp/repro-smoke.jsonl
+
+oracle-smoke:
+	@echo ">> differential-oracle smoke (fixed seed, faults off and on)"
+	$(PYTHON) -m repro.cli check --seed 0 --queries 600

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..check import invariants
 from ..errors import BroadcastError
 from ..geometry import Circle, Point, Rect
 from ..index import brute_force_knn
@@ -207,6 +208,8 @@ def onair_knn(
                 buckets_lost=cost.buckets_lost,
                 sim_s=cost.recovery_latency,
             )
+    if invariants.check_enabled():
+        invariants.check_retrieval_cost(cost, len(plan.bucket_ids))
     return OnAirKnnResult(
         results=results,
         cost=cost,

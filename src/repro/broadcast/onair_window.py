@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..check import invariants
 from ..errors import BroadcastError
 from ..geometry import Rect
 from ..index import brute_force_window
@@ -123,6 +124,8 @@ def onair_window(
                 buckets_lost=cost.buckets_lost,
                 sim_s=cost.recovery_latency,
             )
+    if invariants.check_enabled():
+        invariants.check_retrieval_cost(cost, len(bucket_ids))
     return OnAirWindowResult(
         pois=pois,
         cost=cost,

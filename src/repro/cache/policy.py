@@ -32,7 +32,17 @@ class DirectionDistancePolicy:
 
     The score of an item is its distance from the host, multiplied by
     ``(1 + behind_penalty)`` when the object lies in the half-plane
-    opposite the travel direction.  Largest score is evicted first.
+    opposite the travel direction.  Largest score is evicted first;
+    equal scores break ties toward the larger ``poi_id`` so rankings
+    are reproducible regardless of cache insertion order.
+
+    **Degenerate-heading contract**: a paused host (heading ``(0, 0)``
+    — random-waypoint pause legs produce these routinely) has no
+    "behind", so the policy explicitly degrades to pure
+    farthest-distance eviction.  Before this was spelled out the
+    zero heading silently zeroed every dot product, which *looked*
+    like distance-only ranking but left the behaviour an accident of
+    the comparison ``0 < 0`` and the sort's stability.
     """
 
     def __init__(self, behind_penalty: float = 1.0):
@@ -47,15 +57,24 @@ class DirectionDistancePolicy:
         heading: tuple[float, float],
     ) -> list[CacheItem]:
         hx, hy = heading
+        if hx == 0.0 and hy == 0.0:
+            return sorted(
+                items,
+                key=lambda item: (
+                    item.poi.distance_to(host_position),
+                    item.poi.poi_id,
+                ),
+                reverse=True,
+            )
 
-        def score(item: CacheItem) -> float:
+        def score(item: CacheItem) -> tuple[float, int]:
             dist = item.poi.distance_to(host_position)
             dot = (item.poi.x - host_position.x) * hx + (
                 item.poi.y - host_position.y
             ) * hy
             if dot < 0.0:
-                return dist * (1.0 + self.behind_penalty)
-            return dist
+                return dist * (1.0 + self.behind_penalty), item.poi.poi_id
+            return dist, item.poi.poi_id
 
         return sorted(items, key=score, reverse=True)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..check import invariants
 from ..errors import CacheError
 from ..geometry import Point, Rect
 from ..model import POI
@@ -163,6 +164,8 @@ class POICache:
         evicted = self._enforce_capacity(now, host_position, heading)
         if changed or evicted:
             self.generation += 1
+        if invariants.check_enabled():
+            invariants.check_cache(self)
         return added, evicted
 
     def touch(self, poi_ids: Iterable[int], now: float) -> None:

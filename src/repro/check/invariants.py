@@ -1,0 +1,193 @@
+"""Opt-in runtime invariant assertions (``REPRO_CHECK=1``).
+
+The production pipelines carry internal contracts the type system
+cannot express: the SBNN heap ``H`` must be one of the six legal
+Section-3.3.3 states with a verified *prefix*; a window record's
+``covered_fraction_missing`` is an area share in ``[0, 1]``; the P2P
+traffic counters obey conservation (a response implies a heard peer);
+a retrieval cost decomposes into non-negative phases.
+
+All checks are gated on the ``REPRO_CHECK`` environment variable so
+the hot path pays one module-global boolean test when they are off.
+Tests (and the differential harness) flip the gate programmatically
+with :func:`set_check_enabled`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..broadcast.schedule import RetrievalCost
+    from ..core.heap import ResultHeap
+    from ..experiments.metrics import QueryRecord
+    from ..p2p.network import PeerNetwork
+
+
+class InvariantViolation(ReproError):
+    """A pipeline-seam contract was broken (only raised under checks)."""
+
+
+_ENABLED = os.environ.get("REPRO_CHECK", "") == "1"
+
+
+def check_enabled() -> bool:
+    """Whether the runtime invariant assertions are active."""
+    return _ENABLED
+
+
+def set_check_enabled(on: bool) -> bool:
+    """Flip the gate programmatically; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Seam checks.  Callers guard with ``if check_enabled():`` so the
+# off-path cost is a single boolean test and no argument evaluation.
+# ----------------------------------------------------------------------
+def check_heap(heap: "ResultHeap") -> None:
+    """Heap-state legality after NNV (the six ``H`` states, Table 2).
+
+    * at most ``k`` entries, unique POI ids;
+    * ascending ``(distance, poi_id)`` order;
+    * the verified entries form a prefix — Lemma 3.1 verifies a POI
+      through a disc around the query, so any POI nearer than a
+      verified one is verified too;
+    * the reported :class:`~repro.core.heap.HeapState` matches the
+      entry counts.
+    """
+    from ..core.heap import HeapState
+
+    entries = heap.entries
+    if len(entries) > heap.k:
+        raise InvariantViolation(
+            f"heap holds {len(entries)} entries, capacity {heap.k}"
+        )
+    ids = [e.poi.poi_id for e in entries]
+    if len(set(ids)) != len(ids):
+        raise InvariantViolation(f"duplicate POI ids in heap: {ids}")
+    keys = [e.sort_key() for e in entries]
+    if keys != sorted(keys):
+        raise InvariantViolation(f"heap entries out of distance order: {keys}")
+    seen_unverified = False
+    for entry in entries:
+        if entry.verified and seen_unverified:
+            raise InvariantViolation(
+                "verified heap entry after an unverified one"
+                f" (poi {entry.poi.poi_id} at {entry.distance})"
+            )
+        if not entry.verified:
+            seen_unverified = True
+        if entry.correctness is not None and not (
+            0.0 <= entry.correctness <= 1.0
+        ):
+            raise InvariantViolation(
+                f"correctness {entry.correctness} outside [0, 1]"
+            )
+    verified = heap.verified_count
+    unverified = len(entries) - verified
+    state = heap.state
+    legal = {
+        HeapState.EMPTY: not entries,
+        HeapState.FULL_MIXED: heap.is_full and verified > 0,
+        HeapState.FULL_UNVERIFIED: heap.is_full and verified == 0,
+        HeapState.PARTIAL_MIXED: not heap.is_full
+        and verified > 0
+        and unverified > 0,
+        HeapState.PARTIAL_VERIFIED: not heap.is_full and unverified == 0,
+        HeapState.PARTIAL_UNVERIFIED: not heap.is_full and verified == 0,
+    }
+    if not legal[state]:
+        raise InvariantViolation(
+            f"heap state {state.name} inconsistent with"
+            f" {verified} verified / {unverified} unverified of k={heap.k}"
+        )
+
+
+def check_record(record: "QueryRecord") -> None:
+    """Per-query record sanity: area shares, non-negative costs."""
+    if not (0.0 <= record.covered_fraction_missing <= 1.0):
+        raise InvariantViolation(
+            "covered_fraction_missing"
+            f" {record.covered_fraction_missing} outside [0, 1]"
+        )
+    if record.access_latency < 0.0:
+        raise InvariantViolation(
+            f"negative access latency {record.access_latency}"
+        )
+    if record.tuning_packets < 0 or record.buckets_downloaded < 0:
+        raise InvariantViolation(
+            f"negative channel counters on record at t={record.time}"
+        )
+    if record.result_size < 0 or record.peer_count < 0:
+        raise InvariantViolation(
+            f"negative result/peer counts on record at t={record.time}"
+        )
+
+
+def check_traffic(network: "PeerNetwork") -> None:
+    """Conservation of the P2P traffic counters.
+
+    Every response was sent by a peer that heard a request, and every
+    heard peer implies at least one request on the air — so
+    ``responses_received <= peers_heard`` and ``peers_heard > 0``
+    implies ``requests_sent > 0``; all three are non-negative.
+    """
+    if min(
+        network.requests_sent, network.responses_received, network.peers_heard
+    ) < 0:
+        raise InvariantViolation("negative P2P traffic counter")
+    if network.responses_received > network.peers_heard:
+        raise InvariantViolation(
+            f"{network.responses_received} responses collected from only"
+            f" {network.peers_heard} heard peers"
+        )
+    if network.peers_heard > 0 and network.requests_sent == 0:
+        raise InvariantViolation("peers heard without any request sent")
+
+
+def check_retrieval_cost(cost: "RetrievalCost", planned_buckets: int) -> None:
+    """Phase decomposition and packet accounting of one retrieval."""
+    if planned_buckets < 0:
+        raise InvariantViolation(f"negative planned buckets {planned_buckets}")
+    if cost.access_latency < 0.0:
+        raise InvariantViolation(
+            f"negative retrieval latency {cost.access_latency}"
+        )
+    if cost.index_latency < 0.0 or cost.recovery_latency < 0.0:
+        raise InvariantViolation("negative retrieval phase latency")
+    if cost.index_latency + cost.recovery_latency > cost.access_latency + 1e-9:
+        raise InvariantViolation(
+            "retrieval phases exceed total latency:"
+            f" {cost.index_latency} + {cost.recovery_latency}"
+            f" > {cost.access_latency}"
+        )
+    if cost.buckets_downloaded < planned_buckets:
+        raise InvariantViolation(
+            f"{cost.buckets_downloaded} buckets downloaded,"
+            f" {planned_buckets} planned"
+        )
+    if planned_buckets and cost.tuning_packets < 1 + planned_buckets:
+        raise InvariantViolation(
+            f"tuning packets {cost.tuning_packets} below probe +"
+            f" {planned_buckets} planned buckets"
+        )
+
+
+def check_cache(cache) -> None:
+    """Capacity and region-cap contracts of a cooperative cache."""
+    if len(cache) > cache.capacity:
+        raise InvariantViolation(
+            f"cache holds {len(cache)} POIs, capacity {cache.capacity}"
+        )
+    if len(cache.regions) > cache.max_regions:
+        raise InvariantViolation(
+            f"cache holds {len(cache.regions)} regions,"
+            f" cap {cache.max_regions}"
+        )

@@ -1,0 +1,180 @@
+"""Metamorphic properties: relations between *pairs* of runs.
+
+A differential oracle says "this answer matches brute force"; a
+metamorphic property says "these two answers must relate in a known
+way even when neither is independently checkable".  Four families:
+
+* **Translation invariance** — shifting the whole world (POIs, bounds,
+  query point) by a constant offset must not change a kNN answer,
+  even though every Hilbert cell, bucket id, and broadcast segment
+  changes underneath.
+* **k-monotonicity** — the k-th NN radius is non-decreasing in ``k``,
+  and each answer extends the previous one as a prefix.
+* **Union monotonicity** — adding rectangles never shrinks a
+  :class:`~repro.geometry.RectUnion`, never grows it beyond the sum
+  of areas, and re-adding a covered rectangle is a no-op.
+* **Window-shrink duality** — ``w' = w − MVR`` (Section 3.4.2): the
+  remainder rectangles and the covered part partition the window.
+
+Every function returns a list of human-readable violation strings
+(empty = property holds) so the fuzz campaign and the hypothesis
+tests share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..broadcast import OnAirClient
+from ..geometry import Point, Rect, RectUnion
+from ..model import POI
+from .oracles import oracle_union_area
+
+AREA_TOL = 1e-9
+
+
+def _knn_ids(client: OnAirClient, query: Point, k: int) -> list[int]:
+    return [e.poi.poi_id for e in client.knn(query, k, t_query=0.0).results]
+
+
+def translation_invariant_knn(
+    pois: Sequence[POI],
+    bounds: Rect,
+    query: Point,
+    k: int,
+    offset: tuple[float, float],
+    hilbert_order: int = 4,
+    bucket_capacity: int = 4,
+) -> list[str]:
+    """On-air kNN answers must survive a rigid translation of the world."""
+    dx, dy = offset
+    moved = [
+        POI(p.poi_id, Point(p.x + dx, p.y + dy), p.category) for p in pois
+    ]
+    moved_bounds = Rect(
+        bounds.x1 + dx, bounds.y1 + dy, bounds.x2 + dx, bounds.y2 + dy
+    )
+    base = OnAirClient.build(
+        pois, bounds, hilbert_order=hilbert_order,
+        bucket_capacity=bucket_capacity,
+    )
+    shifted = OnAirClient.build(
+        moved, moved_bounds, hilbert_order=hilbert_order,
+        bucket_capacity=bucket_capacity,
+    )
+    got = _knn_ids(base, query, k)
+    got_shifted = _knn_ids(shifted, Point(query.x + dx, query.y + dy), k)
+    if got != got_shifted:
+        return [
+            f"translation by {offset} changed kNN answer:"
+            f" {got} != {got_shifted}"
+        ]
+    return []
+
+
+def knn_radius_monotone(
+    client: OnAirClient, query: Point, ks: Sequence[int]
+) -> list[str]:
+    """Increasing ``k`` must grow the answer outward, prefix-stable."""
+    violations: list[str] = []
+    previous_ids: list[int] = []
+    previous_radius = 0.0
+    for k in sorted(ks):
+        results = client.knn(query, k, t_query=0.0).results
+        ids = [e.poi.poi_id for e in results]
+        radius = results[-1].distance if results else 0.0
+        if radius + 1e-12 < previous_radius:
+            violations.append(
+                f"k={k} radius {radius} below k-1 radius {previous_radius}"
+            )
+        if ids[: len(previous_ids)] != previous_ids:
+            violations.append(
+                f"k={k} answer {ids} does not extend {previous_ids}"
+            )
+        previous_ids = ids
+        previous_radius = radius
+    return violations
+
+
+def union_area_monotone(
+    base_rects: Sequence[Rect], extra_rects: Sequence[Rect]
+) -> list[str]:
+    """MVR union monotonicity plus idempotence on covered rectangles."""
+    violations: list[str] = []
+    base = RectUnion(base_rects)
+    grown = base.union_with(extra_rects)
+    extra_area = sum(max(0.0, r.area) for r in extra_rects)
+    if grown.area + AREA_TOL < base.area:
+        violations.append(
+            f"union shrank: {base.area} -> {grown.area} after adding rects"
+        )
+    if grown.area > base.area + extra_area + AREA_TOL:
+        violations.append(
+            f"union grew by more than the added area:"
+            f" {grown.area} > {base.area} + {extra_area}"
+        )
+    # Re-adding any disjoint piece of the union itself must change nothing.
+    covered = base.disjoint_rects()[:4]
+    if covered:
+        again = base.union_with(covered)
+        if not math.isclose(
+            again.area, base.area, rel_tol=0.0, abs_tol=AREA_TOL
+        ):
+            violations.append(
+                f"union_with on covered rects moved the area:"
+                f" {base.area} -> {again.area}"
+            )
+    return violations
+
+
+def window_shrink_duality(union: RectUnion, window: Rect) -> list[str]:
+    """``w'`` duality: remainder + covered part partition the window.
+
+    * every remainder rectangle lies inside the window;
+    * remainder rectangles are interior-disjoint from the union;
+    * ``area(w') + area(w ∩ union) == area(w)`` (measured with the
+      independent coordinate-compression oracle);
+    * the remainder is empty iff the union covers the window.
+    """
+    violations: list[str] = []
+    remainder = union.subtract_from_rect(window)
+    for piece in remainder:
+        if not (
+            window.x1 - AREA_TOL <= piece.x1
+            and piece.x2 <= window.x2 + AREA_TOL
+            and window.y1 - AREA_TOL <= piece.y1
+            and piece.y2 <= window.y2 + AREA_TOL
+        ):
+            violations.append(
+                f"remainder piece {piece.as_tuple()} leaves window"
+                f" {window.as_tuple()}"
+            )
+    clipped = [
+        r for r in (rect.intersection(window) for rect in union.rects)
+        if r is not None
+    ]
+    covered_area = oracle_union_area(clipped)
+    remainder_area = oracle_union_area(remainder)
+    if not math.isclose(
+        covered_area + remainder_area,
+        window.area,
+        rel_tol=1e-9,
+        abs_tol=1e-7 * max(1.0, window.area),
+    ):
+        violations.append(
+            f"w' duality broken: covered {covered_area} + remainder"
+            f" {remainder_area} != window {window.area}"
+        )
+    if window.area > 0.0:
+        covers = union.covers_rect(window)
+        if covers and remainder:
+            violations.append(
+                "covers_rect true but subtract_from_rect left"
+                f" {len(remainder)} pieces"
+            )
+        if not covers and not remainder and not window.is_degenerate():
+            violations.append(
+                "covers_rect false but subtract_from_rect left nothing"
+            )
+    return violations

@@ -8,12 +8,15 @@ Usage::
     python -m repro.cli params
     python -m repro.cli bench-quick --trace trace.jsonl
     python -m repro.cli trace-summary trace.jsonl
+    python -m repro.cli check --seed 0 --queries 10000
 
 The CSV written by ``figure`` has one row per (region, x, series) —
 see :mod:`repro.experiments.export`.  ``--trace PATH`` (on ``figure``,
 ``query``, and ``bench-quick``) records every query's lifecycle as
 JSON-lines spans plus a metrics snapshot; ``trace-summary`` renders
-the per-phase latency breakdown.
+the per-phase latency breakdown.  ``check`` runs the seeded
+differential-oracle campaigns of :mod:`repro.check` (README
+"Checking correctness"), exiting non-zero on any disagreement.
 """
 
 from __future__ import annotations
@@ -248,6 +251,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the summary as one JSON document instead of a table",
     )
+
+    check = sub.add_parser(
+        "check",
+        help="differential fuzz campaign: pipelines vs brute-force oracles",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--queries",
+        type=int,
+        default=600,
+        help="total query budget, split across every (region, fault) leg",
+    )
+    check.add_argument(
+        "--regions",
+        nargs="+",
+        choices=sorted(REGIONS),
+        default=sorted(REGIONS),
+        help="parameter sets to fuzz (default: all three)",
+    )
+    check.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="area scale of the fuzzed worlds (small keeps oracles cheap)",
+    )
+    check.add_argument(
+        "--faults",
+        choices=("off", "on", "both"),
+        default="both",
+        help="run legs with the wireless fault layer off, on, or both",
+    )
+    check.add_argument(
+        "--min-correctness",
+        type=float,
+        default=0.5,
+        help="Lemma 3.2 acceptance threshold the pipelines run with",
+    )
+    check.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report disagreements without minimizing the reproducer",
+    )
+    check.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for JSON disagreement artifacts",
+    )
     return parser
 
 
@@ -385,6 +436,52 @@ def cmd_bench_quick(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .check import DEFAULT_FAULTS, run_campaign
+
+    fault_modes = {
+        "off": (False,),
+        "on": (True,),
+        "both": (False, True),
+    }[args.faults]
+    legs = [
+        (region, faulty)
+        for region in args.regions
+        for faulty in fault_modes
+    ]
+    per_leg = max(1, args.queries // len(legs))
+    total_disagreements = 0
+    for region, faulty in legs:
+        report = run_campaign(
+            region,
+            seed=args.seed,
+            queries=per_leg,
+            area_scale=args.scale,
+            fault_config=DEFAULT_FAULTS if faulty else None,
+            min_correctness=args.min_correctness,
+            shrink=not args.no_shrink,
+            artifact_dir=args.out,
+        )
+        status = "ok" if report.ok else f"{len(report.disagreements)} DISAGREE"
+        print(
+            f"{region:>10s} faults={'on ' if faulty else 'off'}"
+            f" {report.queries_run:>6d} queries"
+            f" ({report.knn_checked} knn / {report.window_checked} window,"
+            f" {report.metamorphic_checks} metamorphic,"
+            f" {report.soundness_checks} soundness)"
+            f" in {report.elapsed_s:6.1f}s: {status}"
+        )
+        for disagreement in report.disagreements:
+            print(f"    {disagreement.summary()}")
+        total_disagreements += len(report.disagreements)
+    if total_disagreements:
+        where = f" (artifacts in {args.out})" if args.out else ""
+        print(f"FAIL: {total_disagreements} disagreement(s){where}")
+        return 1
+    print(f"OK: {per_leg * len(legs)} queries, zero disagreements")
+    return 0
+
+
 def cmd_trace_summary(args: argparse.Namespace) -> int:
     spans, _metrics = load_trace(args.path)
     summary = summarize_spans(spans)
@@ -413,6 +510,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "params": cmd_params,
         "bench-quick": cmd_bench_quick,
         "trace-summary": cmd_trace_summary,
+        "check": cmd_check,
     }
     return handlers[args.command](args)
 

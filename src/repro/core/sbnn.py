@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Sequence
 
+from ..check import invariants
 from ..errors import ReproError
 from ..geometry import Point, RectUnion
 from ..model import POI
@@ -151,6 +152,8 @@ def sbnn(
         resolution = Resolution.APPROXIMATE
     else:
         resolution = Resolution.BROADCAST
+    if invariants.check_enabled():
+        invariants.check_heap(heap)
     return SBNNOutcome(
         resolution=resolution,
         heap=heap,

@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..cache import POICache, ReplacementPolicy
+from ..check import invariants
 from ..errors import ExperimentError
 from ..faults import ChannelModel, FaultConfig, P2PFaultStats
 from ..geometry import Point, Rect
@@ -404,6 +405,9 @@ class Simulation:
                             record.covered_fraction_missing
                         ),
                     )
+        if invariants.check_enabled():
+            invariants.check_record(result.record)
+            invariants.check_traffic(self.network)
         return result
 
     def _spread_overheard(

@@ -8,6 +8,7 @@ batches until the broadcast share stops drifting, then measure.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..errors import ExperimentError
@@ -39,9 +40,18 @@ def run_until_steady(
 
     The broadcast share is the slowest-moving of the resolution
     percentages (caches only ever improve it), so it is the
-    convergence witness: once ``stable_batches`` consecutive batch-to-
-    batch changes stay within ``tolerance_pct`` points, the system is
-    declared steady and a final measurement batch is recorded.
+    convergence witness.  Stability is judged against an *anchor*: the
+    first batch of a candidate stable window.  Once ``stable_batches``
+    consecutive batches all stay within ``tolerance_pct`` points of
+    that anchor, the system is declared steady and a final measurement
+    batch is recorded.  (Comparing each batch only to its immediate
+    predecessor would accept a slow monotone drift whose per-batch
+    step is under the tolerance — e.g. 2 points per batch against a
+    3-point tolerance — even though the share is still moving.)
+
+    When the budget runs out without convergence a ``UserWarning`` is
+    emitted and the measurement is recorded anyway; check
+    ``SteadyStateReport.converged`` before trusting it.
     """
     if batch_queries < 1 or max_batches < 1:
         raise ExperimentError("invalid steady-state batch configuration")
@@ -50,19 +60,31 @@ def run_until_steady(
     if stable_batches < 1:
         raise ExperimentError("stable_batches must be >= 1")
     history: list[float] = []
+    anchor: float | None = None
     stable_run = 0
     converged = False
     for batch in range(max_batches):
         collector = sim.run_workload(kind, 0, batch_queries)
         share = collector.pct_broadcast
-        if history and abs(share - history[-1]) <= tolerance_pct:
+        if anchor is not None and abs(share - anchor) <= tolerance_pct:
             stable_run += 1
         else:
+            # Violated (or no window yet): this batch starts the next
+            # candidate window and must not count toward it.
+            anchor = share
             stable_run = 0
         history.append(share)
         if stable_run >= stable_batches:
             converged = True
             break
+    if not converged:
+        warnings.warn(
+            f"steady state not reached after {len(history)} batches of"
+            f" {batch_queries} queries (broadcast share history:"
+            f" {', '.join(f'{s:.1f}' for s in history)}); measuring anyway",
+            UserWarning,
+            stacklevel=2,
+        )
     measurement = sim.run_workload(
         kind,
         0,

@@ -233,15 +233,12 @@ class RectUnion:
     def covers_rect(self, window: Rect) -> bool:
         """True when the window lies entirely inside the union.
 
-        Degenerate windows reduce to containment of their endpoints and
-        midpoint (sufficient for the closed regions used here, where a
-        degenerate window only ever arises from a degenerate query).
+        Degenerate windows (segments, points) are checked against the
+        slab structure too — endpoint/midpoint sampling is unsound when
+        the union has two or more holes along the segment.
         """
         if window.is_degenerate():
-            mid = window.center
-            return all(
-                self.contains_point(p) for p in (*window.corners(), mid)
-            )
+            return self._covers_degenerate(window)
         xs = self._xs
         if not xs or window.x1 < xs[0] or window.x2 > xs[-1]:
             return False
@@ -249,6 +246,39 @@ class RectUnion:
             if xb <= window.x1 or xa >= window.x2:
                 continue
             if not intervals_cover(intervals, window.y1, window.y2):
+                return False
+        return True
+
+    def _covers_degenerate(self, window: Rect) -> bool:
+        """Closed coverage of a zero-area window (point or segment)."""
+        xs = self._xs
+        if not xs:
+            return False
+        if window.x1 == window.x2 and window.y1 == window.y2:
+            return self.contains_point(Point(window.x1, window.y1))
+        if window.x1 == window.x2:
+            # Vertical segment on x = c: both slabs touching c (two
+            # when c is a slab boundary) contribute closed coverage.
+            x = window.x1
+            if x < xs[0] or x > xs[-1]:
+                return False
+            spans: list[Interval] = []
+            for (xa, xb), intervals in self._iter_slabs():
+                if xa <= x <= xb:
+                    spans.extend(intervals)
+            return intervals_cover(
+                merge_intervals(spans), window.y1, window.y2
+            )
+        # Horizontal segment on y = c: every slab sharing positive
+        # length with it must have an interval containing c (slab
+        # rects are closed, so that covers the closed slab piece too).
+        y = window.y1
+        if window.x1 < xs[0] or window.x2 > xs[-1]:
+            return False
+        for (xa, xb), intervals in self._iter_slabs():
+            if xb <= window.x1 or xa >= window.x2:
+                continue
+            if not any(y1 <= y <= y2 for y1, y2 in intervals):
                 return False
         return True
 

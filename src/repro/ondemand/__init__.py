@@ -1,5 +1,5 @@
 """The point-to-point on-demand access model (the paper's baseline)."""
 
-from .server import OnDemandAnswer, OnDemandServer, mmc_wait_time
+from .server import OnDemandAnswer, OnDemandServer, erlang_b, mmc_wait_time
 
-__all__ = ["OnDemandAnswer", "OnDemandServer", "mmc_wait_time"]
+__all__ = ["OnDemandAnswer", "OnDemandServer", "erlang_b", "mmc_wait_time"]

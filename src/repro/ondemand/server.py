@@ -94,11 +94,29 @@ class OnDemandServer:
         )
 
 
+def erlang_b(offered_load: float, servers: int) -> float:
+    """Erlang B blocking probability via the stable recurrence.
+
+    ``B(0) = 1``, ``B(n) = a·B(n-1) / (n + a·B(n-1))``.  Every term
+    stays in ``[0, 1]``, so unlike the textbook ``a^c / c!`` ratio it
+    neither overflows nor loses precision for large ``c``.
+    """
+    if offered_load < 0 or servers < 0:
+        raise ExperimentError("invalid Erlang B parameters")
+    blocking = 1.0
+    for n in range(1, servers + 1):
+        blocking = offered_load * blocking / (n + offered_load * blocking)
+    return blocking
+
+
 def mmc_wait_time(arrival_rate: float, service_rate: float, servers: int) -> float:
     """Mean M/M/c waiting time (Erlang C), in the same time unit.
 
     Returns ``inf`` when the system is unstable (ρ >= 1) — the
-    "does not scale" regime the paper warns about.
+    "does not scale" regime the paper warns about.  The waiting
+    probability is derived from :func:`erlang_b`: computing the
+    ``a^c / c!`` terms directly overflows ``float`` near ``c ≈ 170``
+    even at moderate loads.
     """
     if arrival_rate < 0 or service_rate <= 0 or servers < 1:
         raise ExperimentError("invalid M/M/c parameters")
@@ -108,8 +126,7 @@ def mmc_wait_time(arrival_rate: float, service_rate: float, servers: int) -> flo
     rho = a / servers
     if rho >= 1.0:
         return math.inf
-    # Erlang C probability of waiting.
-    summation = sum(a**n / math.factorial(n) for n in range(servers))
-    top = a**servers / math.factorial(servers) * (1 / (1 - rho))
-    p_wait = top / (summation + top)
+    # Erlang C from Erlang B: C = c·B / (c − a·(1 − B)).
+    blocking = erlang_b(a, servers)
+    p_wait = servers * blocking / (servers - a * (1.0 - blocking))
     return p_wait / (servers * service_rate - arrival_rate)

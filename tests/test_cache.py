@@ -188,6 +188,45 @@ class TestPolicies:
         ranked = DirectionDistancePolicy().rank_victims(items, host, (0.0, 0.0))
         assert {ranked[0].poi.poi_id, ranked[1].poi.poi_id} == {0, 1}
 
+    def test_degenerate_heading_ties_break_by_poi_id(self):
+        """Regression: with heading (0, 0) every dot product is zero,
+        so the behind-penalty silently never applied and equal-distance
+        rankings fell back to the sort's stability — i.e. cache
+        *insertion order* decided the victim.  The documented contract
+        is distance-only with a deterministic poi_id tie-break."""
+        host = Point(0, 0)
+        # Four equidistant POIs inserted in adversarial order: a stable
+        # reverse sort on distance alone would keep this insertion
+        # order (3, 9, 5, 7) instead of ranking by id.
+        items = [
+            CacheItem(POI(3, Point(5, 0)), inserted_at=0, last_used=0),
+            CacheItem(POI(9, Point(0, -5)), inserted_at=1, last_used=1),
+            CacheItem(POI(5, Point(0, 5)), inserted_at=2, last_used=2),
+            CacheItem(POI(7, Point(-5, 0)), inserted_at=3, last_used=3),
+        ]
+        ranked = DirectionDistancePolicy().rank_victims(items, host, (0.0, 0.0))
+        assert [i.poi.poi_id for i in ranked] == [9, 7, 5, 3]
+        # The ranking is a pure function of (distance, poi_id): any
+        # insertion order yields the same victims.
+        ranked_shuffled = DirectionDistancePolicy().rank_victims(
+            list(reversed(items)), host, (0.0, 0.0)
+        )
+        assert [i.poi.poi_id for i in ranked_shuffled] == [9, 7, 5, 3]
+
+    def test_moving_host_ties_break_by_poi_id(self):
+        host = Point(0, 0)
+        # Two equidistant POIs, both ahead: id decides.
+        items = [
+            CacheItem(POI(2, Point(3, 4)), inserted_at=0, last_used=0),
+            CacheItem(POI(8, Point(4, 3)), inserted_at=1, last_used=1),
+        ]
+        ranked = DirectionDistancePolicy().rank_victims(items, host, (1.0, 1.0))
+        assert [i.poi.poi_id for i in ranked] == [8, 2]
+        ranked_rev = DirectionDistancePolicy().rank_victims(
+            list(reversed(items)), host, (1.0, 1.0)
+        )
+        assert [i.poi.poi_id for i in ranked_rev] == [8, 2]
+
     def test_negative_penalty_rejected(self):
         with pytest.raises(ValueError):
             DirectionDistancePolicy(behind_penalty=-0.5)

@@ -1,0 +1,188 @@
+"""Tests for the differential fuzz campaign (``repro.check.differential``)."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.check import DEFAULT_FAULTS, run_campaign
+from repro.check.differential import (
+    CampaignReport,
+    DifferentialChecker,
+    _event_from_payload,
+    _event_payload,
+)
+from repro.core import Resolution
+from repro.errors import ReproError
+from repro.experiments import Simulation, host as host_mod
+from repro.workloads import QueryEvent, QueryKind, scaled_parameters, LA_CITY
+
+
+class TestCleanCampaigns:
+    @pytest.mark.parametrize("region", ["la", "suburbia", "riverside"])
+    def test_no_disagreements_faults_off(self, region):
+        report = run_campaign(region, seed=0, queries=120, area_scale=0.02)
+        assert isinstance(report, CampaignReport)
+        assert report.ok
+        assert report.queries_run == 120
+        assert report.knn_checked > 0 and report.window_checked > 0
+        assert report.soundness_checks >= 1
+        assert report.metamorphic_checks >= 1
+
+    def test_no_disagreements_faults_on(self):
+        report = run_campaign(
+            "la", seed=1, queries=120, area_scale=0.02,
+            fault_config=DEFAULT_FAULTS,
+        )
+        assert report.ok
+        assert report.faults
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ReproError, match="unknown parameter set"):
+            run_campaign("narnia", queries=10)
+
+    def test_zero_queries_rejected(self):
+        with pytest.raises(ReproError, match="queries"):
+            run_campaign("la", queries=0)
+
+
+class TestEventRoundTrip:
+    def test_payload_round_trips(self):
+        event = QueryEvent(
+            time=3.5, host_id=7, kind=QueryKind.WINDOW,
+            window_area=0.25, center_offset=(0.1, -0.2),
+        )
+        assert _event_from_payload(_event_payload(event)) == event
+
+
+class TestDifferentialChecker:
+    def make_sim(self):
+        params = scaled_parameters(LA_CITY, area_scale=0.02)
+        return Simulation(params, seed=0)
+
+    def test_exact_knn_answer_accepted(self):
+        sim = self.make_sim()
+        checker = DifferentialChecker(sim)
+        event = QueryEvent(time=0.0, host_id=0, kind=QueryKind.KNN, k=3)
+        result = sim.execute_query(event)
+        assert checker.check_event(event, result) == []
+
+    def test_window_answer_accepted(self):
+        sim = self.make_sim()
+        checker = DifferentialChecker(sim)
+        event = QueryEvent(
+            time=0.0, host_id=1, kind=QueryKind.WINDOW, window_area=0.2
+        )
+        result = sim.execute_query(event)
+        assert checker.check_event(event, result) == []
+
+    def test_truncated_answer_rejected(self):
+        sim = self.make_sim()
+        checker = DifferentialChecker(sim)
+        event = QueryEvent(time=0.0, host_id=2, kind=QueryKind.KNN, k=3)
+        result = sim.execute_query(event)
+        doctored = dataclasses.replace(result, answers=result.answers[:-1])
+        violations = checker.check_knn(
+            sim.host_position(2), 3, doctored
+        )
+        assert violations and "oracle" in violations[0]
+
+
+class TestInjectedFaultIsCaught:
+    """Acceptance: a deliberately broken pipeline yields a minimized
+    JSON reproducer."""
+
+    @pytest.fixture()
+    def broken_sbnn_pipeline(self, monkeypatch):
+        real = host_mod.MobileHost.execute_knn
+
+        def broken(self, position, heading, k, *args, **kwargs):
+            result = real(self, position, heading, k, *args, **kwargs)
+            if (
+                result.record.resolution is Resolution.VERIFIED
+                and len(result.answers) > 1
+            ):
+                # Drop the true nearest neighbour - the classic
+                # off-by-one a differential harness exists to catch.
+                return dataclasses.replace(result, answers=result.answers[1:])
+            return result
+
+        monkeypatch.setattr(host_mod.MobileHost, "execute_knn", broken)
+
+    def test_caught_shrunk_and_written(self, broken_sbnn_pipeline, tmp_path):
+        report = run_campaign(
+            "la", seed=0, queries=200, area_scale=0.02,
+            artifact_dir=str(tmp_path), max_disagreements=1,
+        )
+        assert not report.ok
+        disagreement = report.disagreements[0]
+        assert disagreement.kind == "knn"
+        assert disagreement.shrunk
+        # The shrink must have made real progress on at least one axis.
+        assert len(disagreement.history) <= disagreement.query_index
+        assert disagreement.poi_ids is not None
+        assert 0 < len(disagreement.poi_ids) < 55
+
+        artifacts = list(tmp_path.iterdir())
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["campaign"]["seed"] == 0
+        assert payload["campaign"]["params"] == "la"
+        assert payload["world_digest"]
+        assert payload["expected"] != payload["actual"]
+        assert payload["shrunk"] is True
+        assert payload["event"]["kind"] == "knn"
+        # The artifact's history must replay as serialisable events.
+        for entry in payload["history"]:
+            _event_from_payload(entry)
+
+    def test_no_shrink_mode_keeps_full_history(self, broken_sbnn_pipeline):
+        report = run_campaign(
+            "la", seed=0, queries=200, area_scale=0.02,
+            max_disagreements=1, shrink=False,
+        )
+        disagreement = report.disagreements[0]
+        assert not disagreement.shrunk
+        assert len(disagreement.history) == disagreement.query_index
+
+
+class TestCheckCli:
+    def test_cli_check_reports_ok(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "check", "--seed", "0", "--queries", "60",
+            "--regions", "la", "--faults", "off", "--no-shrink",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zero disagreements" in out
+
+    def test_cli_check_fails_on_injected_fault(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.cli import main
+
+        real = host_mod.MobileHost.execute_knn
+
+        def broken(self, position, heading, k, *args, **kwargs):
+            result = real(self, position, heading, k, *args, **kwargs)
+            if (
+                result.record.resolution is Resolution.VERIFIED
+                and len(result.answers) > 1
+            ):
+                return dataclasses.replace(result, answers=result.answers[1:])
+            return result
+
+        monkeypatch.setattr(host_mod.MobileHost, "execute_knn", broken)
+        code = main([
+            "check", "--seed", "0", "--queries", "200", "--regions", "la",
+            "--faults", "off", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DISAGREE" in out
+        assert any(
+            name.startswith("disagreement-") for name in os.listdir(tmp_path)
+        )

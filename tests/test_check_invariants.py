@@ -1,0 +1,246 @@
+"""Tests for the ``REPRO_CHECK`` runtime invariant seams."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.broadcast.schedule import RetrievalCost
+from repro.cache import POICache
+from repro.check import invariants
+from repro.check.invariants import (
+    InvariantViolation,
+    check_cache,
+    check_enabled,
+    check_heap,
+    check_record,
+    check_retrieval_cost,
+    check_traffic,
+    set_check_enabled,
+)
+from repro.core import Resolution
+from repro.core.heap import HeapEntry, ResultHeap
+from repro.experiments.metrics import QueryRecord
+from repro.geometry import Point, Rect
+from repro.model import POI
+from repro.workloads import QueryKind
+
+
+@pytest.fixture()
+def checks_on():
+    previous = set_check_enabled(True)
+    yield
+    set_check_enabled(previous)
+
+
+class TestGate:
+    def test_set_and_restore(self):
+        previous = set_check_enabled(True)
+        try:
+            assert check_enabled()
+            assert set_check_enabled(False) is True
+            assert not check_enabled()
+        finally:
+            set_check_enabled(previous)
+
+    def test_seams_are_noops_when_disabled(self):
+        # The production seams guard on check_enabled(); by default
+        # (no REPRO_CHECK=1 in the test env) the gate is off.
+        assert invariants.check_enabled() in (True, False)
+
+
+def make_heap(entries, k=3):
+    heap = ResultHeap(k)
+    heap._entries = list(entries)
+    return heap
+
+
+def entry(poi_id, distance, verified, correctness=None):
+    return HeapEntry(
+        POI(poi_id, Point(distance, 0.0)),
+        distance,
+        verified,
+        correctness=correctness,
+    )
+
+
+class TestCheckHeap:
+    def test_legal_heap_passes(self, checks_on):
+        heap = make_heap(
+            [entry(1, 1.0, True), entry(2, 2.0, True), entry(3, 3.0, False, 0.9)]
+        )
+        check_heap(heap)
+
+    def test_over_capacity(self, checks_on):
+        heap = make_heap([entry(i, float(i), True) for i in range(5)], k=3)
+        with pytest.raises(InvariantViolation, match="capacity"):
+            check_heap(heap)
+
+    def test_duplicate_ids(self, checks_on):
+        heap = make_heap([entry(1, 1.0, True), entry(1, 2.0, True)])
+        with pytest.raises(InvariantViolation, match="duplicate"):
+            check_heap(heap)
+
+    def test_out_of_order(self, checks_on):
+        heap = make_heap([entry(1, 2.0, True), entry(2, 1.0, True)])
+        with pytest.raises(InvariantViolation, match="order"):
+            check_heap(heap)
+
+    def test_verified_after_unverified(self, checks_on):
+        heap = make_heap([entry(1, 1.0, False, 0.9), entry(2, 2.0, True)])
+        with pytest.raises(InvariantViolation, match="verified"):
+            check_heap(heap)
+
+    def test_correctness_out_of_range(self, checks_on):
+        heap = make_heap([entry(1, 1.0, True), entry(2, 2.0, False, 1.5)])
+        with pytest.raises(InvariantViolation, match="correctness"):
+            check_heap(heap)
+
+
+def make_record(**overrides):
+    fields = dict(
+        time=0.0,
+        host_id=0,
+        kind=QueryKind.KNN,
+        resolution=Resolution.VERIFIED,
+        access_latency=0.1,
+        tuning_packets=0,
+        buckets_downloaded=0,
+        peer_count=1,
+        k=2,
+        result_size=2,
+    )
+    fields.update(overrides)
+    return QueryRecord(**fields)
+
+
+class TestCheckRecord:
+    def test_legal_record_passes(self, checks_on):
+        check_record(make_record())
+
+    def test_covered_fraction_out_of_range(self, checks_on):
+        record = make_record(
+            kind=QueryKind.WINDOW, covered_fraction_missing=1.5
+        )
+        with pytest.raises(InvariantViolation, match="covered_fraction"):
+            check_record(record)
+
+    def test_negative_latency(self, checks_on):
+        with pytest.raises(InvariantViolation, match="latency"):
+            check_record(make_record(access_latency=-0.5))
+
+
+class TestCheckTraffic:
+    def test_conservation_holds(self, checks_on):
+        check_traffic(
+            SimpleNamespace(requests_sent=3, responses_received=2, peers_heard=4)
+        )
+
+    def test_responses_exceed_heard(self, checks_on):
+        with pytest.raises(InvariantViolation, match="responses"):
+            check_traffic(
+                SimpleNamespace(
+                    requests_sent=1, responses_received=5, peers_heard=2
+                )
+            )
+
+    def test_heard_without_request(self, checks_on):
+        with pytest.raises(InvariantViolation, match="request"):
+            check_traffic(
+                SimpleNamespace(
+                    requests_sent=0, responses_received=0, peers_heard=2
+                )
+            )
+
+
+class TestCheckRetrievalCost:
+    def make_cost(self, **overrides):
+        fields = dict(
+            access_latency=2.0,
+            tuning_packets=4,
+            finish_time=2.0,
+            buckets_downloaded=3,
+            index_latency=0.5,
+            recovery_latency=0.0,
+        )
+        fields.update(overrides)
+        return RetrievalCost(**fields)
+
+    def test_legal_cost_passes(self, checks_on):
+        check_retrieval_cost(self.make_cost(), planned_buckets=3)
+
+    def test_phases_exceed_total(self, checks_on):
+        cost = self.make_cost(index_latency=1.5, recovery_latency=1.0)
+        with pytest.raises(InvariantViolation, match="phases"):
+            check_retrieval_cost(cost, planned_buckets=3)
+
+    def test_fewer_buckets_than_planned(self, checks_on):
+        with pytest.raises(InvariantViolation, match="planned"):
+            check_retrieval_cost(self.make_cost(), planned_buckets=5)
+
+    def test_tuning_below_floor(self, checks_on):
+        cost = self.make_cost(tuning_packets=2)
+        with pytest.raises(InvariantViolation, match="tuning"):
+            check_retrieval_cost(cost, planned_buckets=3)
+
+
+class TestCheckCache:
+    def test_cache_within_caps_passes(self, checks_on):
+        cache = POICache(capacity=4, max_regions=4)
+        cache.insert_result(
+            Rect(0, 0, 1, 1),
+            [POI(1, Point(0.5, 0.5))],
+            0.0,
+            Point(0, 0),
+            (1.0, 0.0),
+        )
+        check_cache(cache)
+
+    def test_overfull_cache_detected(self, checks_on):
+        cache = POICache(capacity=1, max_regions=4)
+        cache._items[1] = object()
+        cache._items[2] = object()
+        with pytest.raises(InvariantViolation, match="capacity"):
+            check_cache(cache)
+
+
+class TestSeamIntegration:
+    """The seams in the production pipelines actually fire."""
+
+    def make_client(self):
+        from repro.broadcast import OnAirClient
+
+        pois = [
+            POI(i, Point(float(x), float(y)))
+            for i, (x, y) in enumerate(
+                (x, y) for x in range(4) for y in range(4)
+            )
+        ]
+        return OnAirClient.build(pois, Rect(0, 0, 4, 4), hilbert_order=3,
+                                 bucket_capacity=2)
+
+    def test_onair_knn_passes_with_checks_on(self, checks_on):
+        client = self.make_client()
+        result = client.knn(Point(1.1, 1.1), 3)
+        assert len(result.results) == 3
+
+    def test_onair_seam_fires_on_corrupted_cost(self, checks_on, monkeypatch):
+        from repro.broadcast.schedule import BroadcastSchedule
+
+        client = self.make_client()
+        real = BroadcastSchedule.retrieve_with_recovery
+
+        def corrupted(self, t_query, bucket_ids, index_packets, **kwargs):
+            cost = real(self, t_query, bucket_ids, index_packets, **kwargs)
+            return RetrievalCost(
+                access_latency=cost.access_latency,
+                tuning_packets=cost.tuning_packets,
+                finish_time=cost.finish_time,
+                buckets_downloaded=0,  # claims no bucket was read
+                index_latency=cost.index_latency,
+            )
+
+        monkeypatch.setattr(
+            BroadcastSchedule, "retrieve_with_recovery", corrupted
+        )
+        with pytest.raises(InvariantViolation, match="planned"):
+            client.knn(Point(1.1, 1.1), 3)

@@ -1,5 +1,7 @@
 """Tests for the adaptive steady-state detector."""
 
+import warnings
+
 import pytest
 
 from repro.errors import ExperimentError
@@ -11,6 +13,28 @@ from repro.workloads import LA_CITY, QueryKind
 def make_sim(seed=0):
     params = scaled_parameters(LA_CITY, area_scale=0.012)
     return Simulation(params, seed=seed)
+
+
+class _ScriptedCollector:
+    def __init__(self, pct):
+        self.pct_broadcast = pct
+
+    def __len__(self):
+        return 1
+
+
+class _ScriptedSim:
+    """Stands in for Simulation: replays a scripted broadcast-share
+    sequence (repeating the last value once exhausted)."""
+
+    def __init__(self, shares):
+        self.shares = list(shares)
+        self.calls = 0
+
+    def run_workload(self, kind, warmup, measure):
+        share = self.shares[min(self.calls, len(self.shares) - 1)]
+        self.calls += 1
+        return _ScriptedCollector(share)
 
 
 class TestSteadyState:
@@ -47,6 +71,55 @@ class TestSteadyState:
         assert len(report.history) == report.batches_run
         assert all(0 <= h <= 100 for h in report.history)
 
+    def test_slow_monotone_drift_does_not_converge(self):
+        """Regression: adjacent-batch comparison accepted a drift whose
+        per-batch step was under the tolerance (e.g. 2 points/batch vs
+        a 3-point tolerance).  The anchored window must keep rejecting
+        it and warn when the batch budget runs out."""
+        sim = _ScriptedSim([100.0 - 2.0 * i for i in range(50)])
+        with pytest.warns(UserWarning, match="steady state not reached"):
+            report = run_until_steady(
+                sim,
+                QueryKind.KNN,
+                batch_queries=10,
+                tolerance_pct=3.0,
+                stable_batches=2,
+                max_batches=8,
+            )
+        assert not report.converged
+        assert report.batches_run == 8
+
+    def test_flat_history_converges_without_warning(self):
+        sim = _ScriptedSim([40.0, 39.5, 40.2, 39.8, 40.0, 40.1])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = run_until_steady(
+                sim,
+                QueryKind.KNN,
+                batch_queries=10,
+                tolerance_pct=3.0,
+                stable_batches=2,
+                max_batches=10,
+            )
+        assert report.converged
+        # Batch 0 anchors; batches 1 and 2 complete the stable window.
+        assert report.batches_run == 3
+
+    def test_step_change_resets_the_window(self):
+        # Stable at 60, a late step to 40, then stable again: the step
+        # must restart the window, not extend the old one.
+        sim = _ScriptedSim([60.0, 60.0, 40.0, 40.0, 40.0, 40.0])
+        report = run_until_steady(
+            sim,
+            QueryKind.KNN,
+            batch_queries=10,
+            tolerance_pct=3.0,
+            stable_batches=3,
+            max_batches=6,
+        )
+        assert report.converged
+        assert report.history == (60.0, 60.0, 40.0, 40.0, 40.0, 40.0)
+
     def test_broadcast_share_trends_down_during_warmup(self):
         report = run_until_steady(
             make_sim(seed=3),
@@ -60,14 +133,15 @@ class TestSteadyState:
         assert report.history[0] >= report.history[-1] - 5.0
 
     def test_max_batches_respected_without_convergence(self):
-        report = run_until_steady(
-            make_sim(seed=4),
-            QueryKind.KNN,
-            batch_queries=60,
-            tolerance_pct=0.01,  # essentially unreachable
-            stable_batches=5,
-            max_batches=4,
-        )
+        with pytest.warns(UserWarning, match="steady state not reached"):
+            report = run_until_steady(
+                make_sim(seed=4),
+                QueryKind.KNN,
+                batch_queries=60,
+                tolerance_pct=0.01,  # essentially unreachable
+                stable_batches=5,
+                max_batches=4,
+            )
         assert not report.converged
         assert report.batches_run == 4
 

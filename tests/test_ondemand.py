@@ -8,7 +8,7 @@ import pytest
 from repro.errors import ExperimentError
 from repro.geometry import Point, Rect
 from repro.index import brute_force_knn
-from repro.ondemand import OnDemandServer, mmc_wait_time
+from repro.ondemand import OnDemandServer, erlang_b, mmc_wait_time
 from repro.sim import Environment, Resource
 from repro.workloads import generate_pois
 
@@ -111,3 +111,46 @@ class TestMMC:
 
     def test_wait_shrinks_with_servers(self):
         assert mmc_wait_time(3, 1, 8) < mmc_wait_time(3, 1, 4)
+
+    def test_large_server_counts_no_overflow(self):
+        """Regression: the a**c / c! formulation overflowed float for
+        c beyond ~170 (OverflowError on a**servers), so sizing runs at
+        data-center scale crashed.  The Erlang B recurrence stays in
+        [0, 1] at every step."""
+        wait = mmc_wait_time(900.0, 1.0, 1000)
+        assert math.isfinite(wait)
+        assert wait >= 0.0
+        # Nearly idle huge pool: effectively no queueing.
+        assert mmc_wait_time(1.0, 1.0, 1000) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_factorial_closed_form_small_c(self):
+        """Property: the recurrence agrees with the textbook
+        factorial formula wherever that formula is computable."""
+        for servers in (1, 2, 3, 5, 8, 13, 21):
+            for load_fraction in (0.1, 0.5, 0.9, 0.99):
+                lam = servers * load_fraction
+                a = lam  # mu = 1
+                summation = sum(
+                    a**n / math.factorial(n) for n in range(servers)
+                )
+                top = (
+                    a**servers
+                    / math.factorial(servers)
+                    * (1 / (1 - a / servers))
+                )
+                p_wait = top / (summation + top)
+                expected = p_wait / (servers - lam)
+                assert mmc_wait_time(lam, 1.0, servers) == pytest.approx(
+                    expected, rel=1e-10
+                )
+
+    def test_erlang_b_known_values(self):
+        # B(a=1, c=1) = 1/2; B(a=2, c=2) = 2/5 (classic table values).
+        assert erlang_b(1.0, 1) == pytest.approx(0.5)
+        assert erlang_b(2.0, 2) == pytest.approx(0.4)
+        assert erlang_b(0.0, 10) == 0.0
+        assert erlang_b(5.0, 0) == 1.0
+
+    def test_erlang_b_monotone_in_servers(self):
+        blockings = [erlang_b(10.0, c) for c in range(1, 40)]
+        assert blockings == sorted(blockings, reverse=True)

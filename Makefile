@@ -1,5 +1,10 @@
 # Local CI: `make check` chains lint -> tier-1 tests -> traced smoke
-# -> a fixed-seed differential-oracle smoke (faults off and on).
+# -> a fixed-seed differential-oracle smoke (faults off and on) -> a
+# perf smoke (profiled 500-query kNN run vs the committed baseline).
+#
+# `make bench-baseline` re-records BENCH_PR5.json on the current
+# machine; commit it whenever the hot path (or the hardware the CI
+# runs on) changes, or the 25% perf-smoke allowance goes stale.
 #
 # ruff and mypy are optional (the CI image may not ship them); their
 # targets detect absence and skip with a notice instead of failing, so
@@ -8,9 +13,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test smoke oracle-smoke
+.PHONY: check lint test smoke oracle-smoke perf-smoke bench-baseline
 
-check: lint test smoke oracle-smoke
+check: lint test smoke oracle-smoke perf-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -39,3 +44,12 @@ smoke:
 oracle-smoke:
 	@echo ">> differential-oracle smoke (fixed seed, faults off and on)"
 	$(PYTHON) -m repro.cli check --seed 0 --queries 600
+
+perf-smoke:
+	@echo ">> perf smoke (profiled 500-query kNN run vs BENCH_PR5.json)"
+	$(PYTHON) -m repro.cli profile --repeat 2 \
+		--baseline BENCH_PR5.json --max-regression 0.25
+
+bench-baseline:
+	@echo ">> recording profiled-workload baseline -> BENCH_PR5.json"
+	$(PYTHON) -m repro.cli profile --repeat 3 --out BENCH_PR5.json

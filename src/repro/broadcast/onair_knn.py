@@ -18,6 +18,7 @@ The sharing-based improvements of Section 3.3.3 plug in here:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..check import invariants
@@ -74,13 +75,20 @@ def estimate_search_radius(server: BroadcastServer, query: Point, k: int) -> flo
     Every object sits within half a cell diagonal of its published
     centre, so ``k-th centre distance + cell diagonal`` is a sound
     over-estimate of the true k-th NN distance.
+
+    The centre positions come from the server's precomputed index
+    geometry (the broadcast file never changes, so the curve is never
+    decoded per query); the distance scan itself stays on
+    ``math.hypot``, whose rounding the recorded radii depend on.
     """
     if k < 1:
         raise BroadcastError(f"k must be >= 1, got {k}")
-    centers = [center for _, center in server.index_positions()]
-    if not centers:
+    xs, ys = server.index_center_lists()
+    if not xs:
         raise BroadcastError("index is empty")
-    distances = sorted(query.distance_to(c) for c in centers)
+    hyp = math.hypot
+    qx, qy = query.x, query.y
+    distances = sorted([hyp(qx - x, qy - y) for x, y in zip(xs, ys)])
     kth = distances[min(k, len(distances)) - 1]
     return kth + server.grid.cell_diagonal
 

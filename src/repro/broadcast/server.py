@@ -11,6 +11,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..errors import BroadcastError
 from ..geometry import HilbertGrid, Point, Rect
 from ..index import RTree
@@ -75,6 +77,33 @@ class BroadcastServer:
             entries_per_packet=entries_per_index_packet,
         )
 
+        # Precomputed index geometry.  The broadcast schedule is
+        # immutable for the life of the server (the (1, m) data file
+        # never changes mid-run), so the curve decode of every occupied
+        # value happens exactly once here, vectorised, instead of once
+        # per query in the first-scan radius estimate.  ``_index_*``
+        # arrays are per-entry; the ``*_expanded`` views repeat each
+        # entry per POI in its cell — exactly what the index publishes.
+        h_arr = np.fromiter(
+            (e.h_value for e in index_entries), np.int64, count=len(index_entries)
+        )
+        counts = np.fromiter(
+            (e.poi_count for e in index_entries), np.int64, count=len(index_entries)
+        )
+        cx1, cy1, cx2, cy2 = self.grid.rects_of_values(h_arr)
+        self._index_hvalues = h_arr
+        self._index_counts = counts
+        self._index_center_x = np.repeat((cx1 + cx2) / 2.0, counts)
+        self._index_center_y = np.repeat((cy1 + cy2) / 2.0, counts)
+        self._index_h_expanded = np.repeat(h_arr, counts)
+        # Flat python-float copies for the scalar ``math.hypot`` scan
+        # of the radius estimate (``np.hypot`` rounds differently in
+        # ~0.6 % of cases, which would break bit-identity of the
+        # estimated radius against the historical per-Point path).
+        self._index_center_x_list: list[float] = self._index_center_x.tolist()
+        self._index_center_y_list: list[float] = self._index_center_y.tolist()
+        self._index_positions_memo: tuple[tuple[int, Point], ...] | None = None
+
     # ------------------------------------------------------------------
     @property
     def bucket_count(self) -> int:
@@ -127,16 +156,45 @@ class BroadcastServer:
 
     def occupied_hvalues(self) -> list[int]:
         """All occupied Hilbert values (what the index publishes)."""
-        return [entry.h_value for entry in self.index.entries]
+        return self._index_hvalues.tolist()
 
     def index_positions(self) -> list[tuple[int, Point]]:
         """What a client learns from the index: per occupied value, the
-        cell-centre position estimate, repeated per POI in the cell."""
-        positions: list[tuple[int, Point]] = []
-        for entry in self.index.entries:
-            center = self.grid.center_of_value(entry.h_value)
-            positions.extend((entry.h_value, center) for _ in range(entry.poi_count))
-        return positions
+        cell-centre position estimate, repeated per POI in the cell.
+
+        Built once from the precomputed geometry and memoised — the
+        index never changes, so neither does this list.
+        """
+        if self._index_positions_memo is None:
+            self._index_positions_memo = tuple(
+                (h, Point(x, y))
+                for h, x, y in zip(
+                    self._index_h_expanded.tolist(),
+                    self._index_center_x_list,
+                    self._index_center_y_list,
+                )
+            )
+        return list(self._index_positions_memo)
+
+    def index_position_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The per-POI published positions as flat arrays.
+
+        Returns ``(h_values, center_x, center_y)`` with one slot per
+        POI (values repeat per POI in a cell, mirroring
+        :meth:`index_positions`).  Callers must treat the arrays as
+        read-only — they are the server's precomputed geometry.
+        """
+        return self._index_h_expanded, self._index_center_x, self._index_center_y
+
+    def index_center_lists(self) -> tuple[list[float], list[float]]:
+        """The per-POI centre coordinates as plain-float lists.
+
+        The scalar counterpart of :meth:`index_position_arrays` for
+        code that must run ``math.hypot`` per element (bit-identical
+        to the historical per-Point distance scan).  Read-only: these
+        are the server's precomputed lists, not copies.
+        """
+        return self._index_center_x_list, self._index_center_y_list
 
     def pois_in_bucket(self, bucket_id: int) -> tuple[POI, ...]:
         if not (0 <= bucket_id < len(self.buckets)):

@@ -13,16 +13,46 @@ from ..geometry import Rect
 from ..model import POI
 
 
-@dataclass(frozen=True, slots=True)
 class VerifiedRegion:
-    """A rectangle of guaranteed-complete POI knowledge."""
+    """A rectangle of guaranteed-complete POI knowledge.
 
-    rect: Rect
-    created_at: float
+    ``area`` is computed once at construction: the region-coalescing
+    pass orders by area on every cache insert, and chasing the nested
+    ``rect.width * rect.height`` properties per comparison dominated
+    that sort in profiles.
 
-    @property
-    def area(self) -> float:
-        return self.rect.area
+    A hand-written slots class (immutable by convention, never mutated
+    after construction): one of these is built per cache insert and
+    per region repair, and the generated frozen-dataclass
+    ``__init__``/``__post_init__`` pair was itself visible in
+    profiles.  Equality and hashing keep the old dataclass contract —
+    ``(rect, created_at)``, with the derived ``area`` excluded.
+    """
+
+    __slots__ = ("rect", "created_at", "area")
+
+    def __init__(self, rect: Rect, created_at: float) -> None:
+        self.rect = rect
+        self.created_at = created_at
+        # Same float expression as Rect.area (width * height).
+        self.area = (rect.x2 - rect.x1) * (rect.y2 - rect.y1)
+
+    def __repr__(self) -> str:
+        return (
+            f"VerifiedRegion(rect={self.rect!r},"
+            f" created_at={self.created_at!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is VerifiedRegion:
+            return (
+                self.rect == other.rect
+                and self.created_at == other.created_at
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.rect, self.created_at))
 
 
 @dataclass(slots=True)

@@ -8,7 +8,10 @@ come back for them.  LRU and FIFO are included as ablation baselines.
 
 from __future__ import annotations
 
+import math
 from typing import Protocol, Sequence
+
+import numpy as np
 
 from ..geometry import Point
 from .entry import CacheItem
@@ -56,27 +59,51 @@ class DirectionDistancePolicy:
         host_position: Point,
         heading: tuple[float, float],
     ) -> list[CacheItem]:
+        items = list(items)
+        n = len(items)
+        if n <= 1:
+            return items
+        scores, ids = self.score_batch(items, host_position, heading)
+        # Descending (score, poi_id): reverse-sorting the key tuples is
+        # an ascending lexsort on the negated columns (poi_ids are
+        # unique, so the order is total and stability is moot).
+        order = np.lexsort((np.negative(ids), np.negative(scores)))
+        return [items[i] for i in order]
+
+    def score_batch(
+        self,
+        items: Sequence[CacheItem],
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised eviction scores over a structure-of-arrays view.
+
+        Returns ``(scores, poi_ids)``; larger score means evict first.
+        The distance column runs ``math.hypot`` per element (its
+        rounding differs from ``np.hypot`` in ~0.6 % of cases and the
+        historical ranking depends on it); the behind-penalty and the
+        degenerate-heading degradation are applied as array ops with
+        the same float expressions as the scalar definition.
+        """
+        hyp = math.hypot
+        qx, qy = host_position.x, host_position.y
+        # POI.x/.y are properties over .location; chase the Point once.
+        locations = [item.poi.location for item in items]
+        xs = np.array([p.x for p in locations], np.float64)
+        ys = np.array([p.y for p in locations], np.float64)
+        ids = np.array([item.poi.poi_id for item in items], np.int64)
+        dx = xs - qx
+        dy = ys - qy
+        dist = np.array(
+            [hyp(a, b) for a, b in zip(dx.tolist(), dy.tolist())],
+            np.float64,
+        )
         hx, hy = heading
         if hx == 0.0 and hy == 0.0:
-            return sorted(
-                items,
-                key=lambda item: (
-                    item.poi.distance_to(host_position),
-                    item.poi.poi_id,
-                ),
-                reverse=True,
-            )
-
-        def score(item: CacheItem) -> tuple[float, int]:
-            dist = item.poi.distance_to(host_position)
-            dot = (item.poi.x - host_position.x) * hx + (
-                item.poi.y - host_position.y
-            ) * hy
-            if dot < 0.0:
-                return dist * (1.0 + self.behind_penalty), item.poi.poi_id
-            return dist, item.poi.poi_id
-
-        return sorted(items, key=score, reverse=True)
+            # Degenerate-heading contract: pure farthest-distance.
+            return dist, ids
+        behind = dx * hx + dy * hy < 0.0
+        return np.where(behind, dist * (1.0 + self.behind_penalty), dist), ids
 
 
 class LRUPolicy:

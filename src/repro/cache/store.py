@@ -24,30 +24,63 @@ from .policy import DirectionDistancePolicy, ReplacementPolicy
 EVICTION_MARGIN = 1e-9
 
 
+def _descending_area(vr: "VerifiedRegion") -> float:
+    """Sort key of the coalescing pass (module-level: no closure rebuild)."""
+    return -vr.area
+
+
 def shrink_rect_to_exclude(rect: Rect, p: Point) -> Rect | None:
     """The largest of the four axis cuts of ``rect`` that excludes ``p``.
 
     Returns ``None`` when no positive-area remainder exists.
+
+    The candidate areas are compared arithmetically (same expressions
+    as ``Rect.area``, same left/right/down/up precedence on ties) and
+    only the winning rectangle is constructed — this runs once per
+    (region, victim) shrink, the hottest loop of cache eviction.
     """
     if not rect.contains_point(p):
         return rect
-    candidates: list[Rect] = []
+    x1, y1, x2, y2 = rect.x1, rect.y1, rect.x2, rect.y2
     cut_left = p.x - EVICTION_MARGIN
     cut_right = p.x + EVICTION_MARGIN
     cut_down = p.y - EVICTION_MARGIN
     cut_up = p.y + EVICTION_MARGIN
-    if cut_left > rect.x1:
-        candidates.append(Rect(rect.x1, rect.y1, cut_left, rect.y2))
-    if cut_right < rect.x2:
-        candidates.append(Rect(cut_right, rect.y1, rect.x2, rect.y2))
-    if cut_down > rect.y1:
-        candidates.append(Rect(rect.x1, rect.y1, rect.x2, cut_down))
-    if cut_up < rect.y2:
-        candidates.append(Rect(rect.x1, cut_up, rect.x2, rect.y2))
-    candidates = [r for r in candidates if not r.is_degenerate()]
-    if not candidates:
+    width = x2 - x1
+    height = y2 - y1
+    best = -1
+    best_area = 0.0
+    if cut_left > x1:
+        w = cut_left - x1
+        if w != 0.0 and height != 0.0:
+            best, best_area = 0, w * height
+    if cut_right < x2:
+        w = x2 - cut_right
+        if w != 0.0 and height != 0.0:
+            area = w * height
+            if area > best_area or best < 0:
+                best, best_area = 1, area
+    if cut_down > y1:
+        h = cut_down - y1
+        if width != 0.0 and h != 0.0:
+            area = width * h
+            if area > best_area or best < 0:
+                best, best_area = 2, area
+    if cut_up < y2:
+        h = y2 - cut_up
+        if width != 0.0 and h != 0.0:
+            area = width * h
+            if area > best_area or best < 0:
+                best, best_area = 3, area
+    if best < 0:
         return None
-    return max(candidates, key=lambda r: r.area)
+    if best == 0:
+        return Rect(x1, y1, cut_left, y2)
+    if best == 1:
+        return Rect(cut_right, y1, x2, y2)
+    if best == 2:
+        return Rect(x1, y1, x2, cut_down)
+    return Rect(x1, cut_up, x2, y2)
 
 
 class POICache:
@@ -76,6 +109,14 @@ class POICache:
         # insert_result emits a ``cache.insert`` span nested under the
         # active query span.
         self.tracer = None
+        # True while no region has been shrunk (or dropped) by an
+        # eviction since the last full coalesce — the precondition for
+        # the coalesce fast path (no containments can lurk among the
+        # kept regions).
+        self._regions_coalesced = True
+        # (generation, payload) memos for the share/pois accessors.
+        self._pois_memo: tuple[int, tuple[POI, ...]] | None = None
+        self._share_memo: tuple[int, tuple[Rect, ...], tuple[POI, ...]] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -86,7 +127,16 @@ class POICache:
 
     @property
     def pois(self) -> list[POI]:
-        return [item.poi for item in self._items.values()]
+        """The cached POIs (insertion order), memoised per generation."""
+        memo = self._pois_memo
+        generation = self.generation
+        if memo is None or memo[0] != generation:
+            memo = (
+                generation,
+                tuple([item.poi for item in self._items.values()]),
+            )
+            self._pois_memo = memo
+        return list(memo[1])
 
     @property
     def regions(self) -> list[VerifiedRegion]:
@@ -142,15 +192,19 @@ class POICache:
     ) -> tuple[int, int]:
         """The uninstrumented insert; returns (POIs added, POIs evicted)."""
         added = 0
-        changed = False
+        items = self._items
+        get = items.get
         for poi in pois:
-            if poi.poi_id in self._items:
-                self._items[poi.poi_id].last_used = now
+            item = get(poi.poi_id)
+            if item is not None:
+                item.last_used = now
             else:
-                self._items[poi.poi_id] = CacheItem(poi, now, now)
+                items[poi.poi_id] = CacheItem(poi, now, now)
                 added += 1
-                changed = True
-        if not region.is_degenerate():
+        changed = added > 0
+        # Inline Rect.is_degenerate (zero width or height): IEEE
+        # subtraction is zero exactly when the operands are equal.
+        if region.x2 != region.x1 and region.y2 != region.y1:
             changed = True
             self._regions.append(VerifiedRegion(region, now))
             self._coalesce_regions()
@@ -161,10 +215,14 @@ class POICache:
                     key=lambda vr: vr.rect.distance_to_point(host_position),
                 )
                 self._regions.remove(farthest)
-        evicted = self._enforce_capacity(now, host_position, heading)
+        # Inlined no-excess guard: most inserts sit at or under
+        # capacity and skip the call entirely.
+        evicted = 0
+        if len(items) > self.capacity:
+            evicted = self._enforce_capacity(now, host_position, heading)
         if changed or evicted:
             self.generation += 1
-        if invariants.check_enabled():
+        if invariants.ENABLED:
             invariants.check_cache(self)
         return added, evicted
 
@@ -182,8 +240,18 @@ class POICache:
         the LRU clock alone (callers record genuine uses via
         :meth:`touch`) and needs no clock at all — the content depends
         only on the cache state, never on when the request arrives.
+
+        The payload is memoised on the content generation: the stamp
+        moves exactly when the POI set or the regions change, so the
+        memo is rebuilt precisely as often as the content differs.
+        Fresh list copies are returned so callers may mutate them.
         """
-        return self.region_rects, self.pois
+        memo = self._share_memo
+        generation = self.generation
+        if memo is None or memo[0] != generation:
+            memo = (generation, tuple(self.region_rects), tuple(self.pois))
+            self._share_memo = memo
+        return list(memo[1]), list(memo[2])
 
     def pois_in(self, rect: Rect) -> list[POI]:
         """Cached POIs inside a rectangle (sorted by id)."""
@@ -197,45 +265,161 @@ class POICache:
 
     # ------------------------------------------------------------------
     def _coalesce_regions(self) -> None:
-        """Drop regions fully covered by another (newer wins ties)."""
-        kept: list[VerifiedRegion] = []
-        for vr in sorted(self._regions, key=lambda v: -v.area):
-            if not any(other.rect.contains_rect(vr.rect) for other in kept):
-                kept.append(vr)
-        self._regions = kept
+        """Drop regions fully covered by another (newer wins ties).
+
+        Fast path: while ``_regions_coalesced`` holds (no eviction has
+        shrunk a region since the last coalesce) the incumbents are
+        mutually containment-free and area-sorted, so the only
+        possible containments involve the newcomer (always the last
+        appended).  One pass over the incumbents settles everything:
+        an incumbent covering the newcomer means nothing changes (the
+        full scan, processing larger areas first, would drop the
+        newcomer — ties too, since the stable sort keeps the
+        incumbent ahead); otherwise any incumbents the newcomer
+        covers are dropped and the newcomer binary-inserts into the
+        sorted survivors, ties landing behind, exactly where the
+        stable full-scan sort would put it.  The two containment
+        directions are mutually exclusive across the pass — newcomer
+        inside one incumbent and around another would nest the two
+        incumbents, contradicting containment-freeness.
+
+        The flag matters: shrinking can push a kept region inside a
+        sibling, and those stale containments are only cleaned up by
+        the full scan below.
+        """
+        regions = self._regions
+        if len(regions) > 1:
+            if self._regions_coalesced:
+                new_vr = regions[-1]
+                new = new_vr.rect
+                nx1, ny1, nx2, ny2 = new.x1, new.y1, new.x2, new.y2
+                covered: list[int] | None = None
+                for idx in range(len(regions) - 1):
+                    o = regions[idx].rect
+                    ox1, oy1, ox2, oy2 = o.x1, o.y1, o.x2, o.y2
+                    if ox1 <= nx1 and oy1 <= ny1 and nx2 <= ox2 and ny2 <= oy2:
+                        regions.pop()
+                        return
+                    if nx1 <= ox1 and ny1 <= oy1 and ox2 <= nx2 and oy2 <= ny2:
+                        if covered is None:
+                            covered = [idx]
+                        else:
+                            covered.append(idx)
+                regions.pop()
+                if covered is not None:
+                    for idx in reversed(covered):
+                        del regions[idx]
+                area = new_vr.area
+                if regions and regions[-1].area >= area:
+                    regions.append(new_vr)
+                else:
+                    lo, hi = 0, len(regions)
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if regions[mid].area >= area:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    regions.insert(lo, new_vr)
+                return
+            kept: list[VerifiedRegion] = []
+            for vr in sorted(regions, key=_descending_area):
+                rect = vr.rect
+                rx1, ry1, rx2, ry2 = rect.x1, rect.y1, rect.x2, rect.y2
+                for other in kept:
+                    o = other.rect
+                    if o.x1 <= rx1 and o.y1 <= ry1 and rx2 <= o.x2 and ry2 <= o.y2:
+                        break
+                else:
+                    kept.append(vr)
+            self._regions = kept
+        self._regions_coalesced = True
 
     def _enforce_capacity(
         self, now: float, host_position: Point, heading: tuple[float, float]
     ) -> int:
-        """Evict down to capacity; returns the number of POIs evicted."""
-        if len(self._items) <= self.capacity:
+        """Evict down to capacity; returns the number of POIs evicted.
+
+        Eviction is batched: every victim is ranked in one vectorised
+        policy call, all victims leave the POI table in one pass, and
+        the verified regions are repaired once for the whole batch —
+        the per-victim path re-scanned every region per eviction.  The
+        batch is observationally identical to evicting the ranked
+        victims one at a time (the property suite pins this against
+        :meth:`_evict`).
+        """
+        excess = len(self._items) - self.capacity
+        if excess <= 0:
             return 0
         victims = self.policy.rank_victims(
             list(self._items.values()), host_position, heading
-        )
-        excess = len(self._items) - self.capacity
-        for item in victims[:excess]:
-            self._evict(item.poi)
+        )[:excess]
+        items = self._items
+        for item in victims:
+            del items[item.poi.poi_id]
+        self._repair_regions([item.poi.location for item in victims])
         return excess
+
+    def _repair_regions(self, victims: Sequence[Point]) -> None:
+        """Shrink every region covering an evicted point, in one pass.
+
+        Equivalent to applying the per-victim shrink loop of
+        :meth:`_evict` victim by victim: regions are independent of
+        one another, so the victim loop can move inside the region
+        loop as long as each region sees the victims in eviction
+        order.  ``max_regions`` keeps the outer loop tiny, so the
+        containment test runs on local floats (refreshed after each
+        shrink) rather than a batched matrix build.
+        """
+        regions = self._regions
+        if not regions or not victims:
+            return
+        updated: list[VerifiedRegion] = []
+        changed = False
+        for vr in regions:
+            rect = vr.rect
+            x1, y1, x2, y2 = rect.x1, rect.y1, rect.x2, rect.y2
+            for p in victims:
+                if x1 <= p.x <= x2 and y1 <= p.y <= y2:
+                    rect = shrink_rect_to_exclude(rect, p)
+                    if rect is None:
+                        break
+                    x1, y1, x2, y2 = rect.x1, rect.y1, rect.x2, rect.y2
+            if rect is None:
+                changed = True
+            elif rect is vr.rect:
+                updated.append(vr)
+            else:
+                changed = True
+                updated.append(VerifiedRegion(rect, vr.created_at))
+        if changed:
+            self._regions = updated
+            self._regions_coalesced = False
 
     def _evict(self, poi: POI) -> None:
         """Remove one POI, shrinking every region that covers it.
 
-        Generation bookkeeping is the caller's job (the public
-        mutators bump it once per call).
+        The sequential reference path: :meth:`_enforce_capacity` now
+        batches its evictions, and the property suite checks the batch
+        against this per-victim loop.  Generation bookkeeping is the
+        caller's job (the public mutators bump it once per call).
         """
         if poi.poi_id not in self._items:
             raise CacheError(f"evicting uncached POI {poi.poi_id}")
         del self._items[poi.poi_id]
         updated: list[VerifiedRegion] = []
+        shrunk_any = False
         for vr in self._regions:
             if not vr.rect.contains_point(poi.location):
                 updated.append(vr)
                 continue
+            shrunk_any = True
             shrunk = shrink_rect_to_exclude(vr.rect, poi.location)
             if shrunk is not None:
                 updated.append(VerifiedRegion(shrunk, vr.created_at))
-        self._regions = updated
+        if shrunk_any:
+            self._regions = updated
+            self._regions_coalesced = False
 
     # ------------------------------------------------------------------
     def check_soundness(

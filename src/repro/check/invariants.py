@@ -31,19 +31,22 @@ class InvariantViolation(ReproError):
     """A pipeline-seam contract was broken (only raised under checks)."""
 
 
-_ENABLED = os.environ.get("REPRO_CHECK", "") == "1"
+# Public module attribute: the hottest seams (cache inserts run tens of
+# thousands of times per workload) read ``invariants.ENABLED`` directly
+# instead of paying a function call per check.
+ENABLED = os.environ.get("REPRO_CHECK", "") == "1"
 
 
 def check_enabled() -> bool:
     """Whether the runtime invariant assertions are active."""
-    return _ENABLED
+    return ENABLED
 
 
 def set_check_enabled(on: bool) -> bool:
     """Flip the gate programmatically; returns the previous setting."""
-    global _ENABLED
-    previous = _ENABLED
-    _ENABLED = bool(on)
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(on)
     return previous
 
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli bench-quick --trace trace.jsonl
     python -m repro.cli trace-summary trace.jsonl
     python -m repro.cli check --seed 0 --queries 10000
+    python -m repro.cli profile --queries 500 --top 15
+    python -m repro.cli profile --baseline BENCH_PR5.json --max-regression 0.25
 
 The CSV written by ``figure`` has one row per (region, x, series) —
 see :mod:`repro.experiments.export`.  ``--trace PATH`` (on ``figure``,
@@ -17,6 +19,10 @@ JSON-lines spans plus a metrics snapshot; ``trace-summary`` renders
 the per-phase latency breakdown.  ``check`` runs the seeded
 differential-oracle campaigns of :mod:`repro.check` (README
 "Checking correctness"), exiting non-zero on any disagreement.
+``profile`` cProfiles a configurable workload and prints the top-N
+hotspots; with ``--baseline`` it doubles as the perf-smoke gate,
+exiting non-zero when the profiled wall time regresses past the
+allowance (DESIGN.md "Performance architecture").
 """
 
 from __future__ import annotations
@@ -252,6 +258,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the summary as one JSON document instead of a table",
     )
 
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile a workload and report the top-N hotspots",
+    )
+    prof.add_argument("--region", choices=sorted(REGIONS), default="la")
+    prof.add_argument("--scale", type=float, default=0.1)
+    prof.add_argument(
+        "--kind", choices=("knn", "window"), default="knn",
+        help="query kind of the profiled workload",
+    )
+    prof.add_argument("--queries", type=int, default=500)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="profile the workload N times, keep the fastest run",
+    )
+    prof.add_argument(
+        "--top", type=int, default=20, help="hotspot rows to report"
+    )
+    prof.add_argument(
+        "--sort",
+        choices=("tottime", "cumtime", "calls"),
+        default="tottime",
+        help="hotspot ranking key",
+    )
+    prof.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON document instead of an ASCII table",
+    )
+    prof.add_argument("--out", default=None, help="optional JSON output path")
+    prof.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed profile JSON to compare against (perf smoke)",
+    )
+    prof.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-time increase over the baseline",
+    )
+
     check = sub.add_parser(
         "check",
         help="differential fuzz campaign: pipelines vs brute-force oracles",
@@ -436,6 +488,140 @@ def cmd_bench_quick(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hotspot_label(filename: str, lineno: int, name: str) -> str:
+    """Compact ``file:line(func)`` label with noise prefixes stripped."""
+    if filename == "~":  # pstats' marker for C-level builtins
+        return name
+    for anchor in ("/src/", "/site-packages/", "/lib/"):
+        idx = filename.rfind(anchor)
+        if idx >= 0:
+            filename = filename[idx + len(anchor):]
+            break
+    return f"{filename}:{lineno}({name})"
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+    kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
+    best_wall = math.inf
+    best_profiler: cProfile.Profile | None = None
+    for _ in range(max(1, args.repeat)):
+        # A fresh world per repeat: the workload must see identical
+        # cold caches each time for the runs to be comparable.
+        sim = Simulation(params, seed=args.seed)
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.runcall(sim.run_workload, kind, 0, args.queries)
+        wall = time.perf_counter() - start
+        if wall < best_wall:
+            best_wall = wall
+            best_profiler = profiler
+    stats = pstats.Stats(best_profiler)
+    sort_field = {"tottime": 2, "cumtime": 3, "calls": 1}[args.sort]
+    rows = [
+        {
+            "function": _hotspot_label(filename, lineno, name),
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": tt,
+            "cumtime_s": ct,
+            "_key": (cc, nc, tt, ct)[sort_field],
+        }
+        for (filename, lineno, name), (cc, nc, tt, ct, _callers)
+        in stats.stats.items()
+    ]
+    rows.sort(key=lambda row: row["_key"], reverse=True)
+    hotspots = [
+        {k: v for k, v in row.items() if k != "_key"}
+        for row in rows[: max(0, args.top)]
+    ]
+    report: dict = {
+        "parameters": {
+            "region": args.region,
+            "area_scale": args.scale,
+            "kind": args.kind,
+            "queries": args.queries,
+            "seed": args.seed,
+            "repeat": max(1, args.repeat),
+        },
+        "profiled_wall_s": best_wall,
+        "total_calls": stats.total_calls,
+        "sort": args.sort,
+        "hotspots": hotspots,
+    }
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        workload_keys = ("region", "area_scale", "kind", "queries", "seed")
+        mismatched = {
+            key: (baseline["parameters"].get(key), report["parameters"][key])
+            for key in workload_keys
+            if baseline["parameters"].get(key) != report["parameters"][key]
+        }
+        if mismatched:
+            print(
+                f"baseline {args.baseline} profiles a different workload:"
+                f" {mismatched}",
+                file=sys.stderr,
+            )
+            return 2
+        base_wall = baseline["profiled_wall_s"]
+        limit = base_wall * (1.0 + args.max_regression)
+        report["baseline"] = {
+            "path": args.baseline,
+            "profiled_wall_s": base_wall,
+            "limit_s": limit,
+        }
+        status = 1 if best_wall > limit else 0
+
+    document = json.dumps(report, indent=2)
+    if args.json:
+        print(document)
+    else:
+        p = report["parameters"]
+        print(
+            f"{p['queries']} {p['kind']} queries on {p['region']}"
+            f" (scale {p['area_scale']:g}, seed {p['seed']},"
+            f" best of {p['repeat']}):"
+            f" {best_wall:.3f} s profiled wall,"
+            f" {report['total_calls']:,} calls"
+        )
+        print(f"top {len(hotspots)} by {args.sort}:")
+        print(f"{'ncalls':>10s} {'tottime':>9s} {'cumtime':>9s}  function")
+        for row in hotspots:
+            print(
+                f"{row['ncalls']:>10d} {row['tottime_s']:>9.3f}"
+                f" {row['cumtime_s']:>9.3f}  {row['function']}"
+            )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(document + "\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.baseline:
+        verdict = report["baseline"]
+        if status:
+            print(
+                f"PERF REGRESSION: {best_wall:.3f} s >"
+                f" {verdict['limit_s']:.3f} s allowance"
+                f" ({verdict['profiled_wall_s']:.3f} s baseline"
+                f" + {args.max_regression:.0%})"
+            )
+        else:
+            print(
+                f"perf ok: {best_wall:.3f} s within"
+                f" {verdict['limit_s']:.3f} s allowance"
+                f" ({verdict['profiled_wall_s']:.3f} s baseline"
+                f" + {args.max_regression:.0%})"
+            )
+    return status
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from .check import DEFAULT_FAULTS, run_campaign
 
@@ -511,6 +697,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench-quick": cmd_bench_quick,
         "trace-summary": cmd_trace_summary,
         "check": cmd_check,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

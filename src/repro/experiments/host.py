@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..broadcast import OnAirClient
 from ..cache import POICache
 from ..core import MVRMemo, Resolution, sbnn, sbwq
@@ -54,17 +56,61 @@ class HostQueryResult:
 def _pois_from_responses(
     responses: Sequence[ShareResponse], within: Rect, mvr: RectUnion
 ) -> dict[int, POI]:
-    """Peer POIs inside both ``within`` and the MVR (hence complete)."""
+    """Peer POIs inside both ``within`` and the MVR (hence complete).
+
+    First occurrence wins on duplicate ids, and insertion order (the
+    response order, POI order within a response) is preserved — the
+    dict's ordering flows into cached-region POI tuples downstream.
+    The containment tests run as one mask per response over the
+    response's memoised coordinate arrays; both predicates are closed
+    comparisons, so the mask agrees with the scalar test point-for-
+    point.
+    """
     found: dict[int, POI] = {}
+    wx1, wy1, wx2, wy2 = within.x1, within.y1, within.x2, within.y2
     for response in responses:
-        for poi in response.pois:
-            if poi.poi_id in found:
-                continue
-            if within.contains_point(poi.location) and mvr.contains_point(
-                poi.location
-            ):
-                found[poi.poi_id] = poi
+        pois = response.pois
+        if not pois:
+            continue
+        _, xs, ys = response.poi_arrays()
+        inside = (wx1 <= xs) & (xs <= wx2) & (wy1 <= ys) & (ys <= wy2)
+        idx = np.nonzero(inside)[0]
+        if idx.size:
+            hits = idx[mvr.contains_points(xs[idx], ys[idx])]
+            for i in hits.tolist():
+                poi = pois[i]
+                if poi.poi_id not in found:
+                    found[poi.poi_id] = poi
     return found
+
+
+def _pois_per_region(
+    regions: Sequence[Rect], downloaded: Sequence[POI]
+) -> list[SharedRegion]:
+    """Filter the downloaded POIs into each bonus region.
+
+    The per-region test is a closed-rectangle mask over coordinate
+    arrays built once for the whole batch; ``nonzero`` preserves the
+    download order, so each tuple matches the sequential filter.
+    """
+    if not regions:
+        return []
+    if not downloaded:
+        return [(region, ()) for region in regions]
+    xs = np.array([p.location.x for p in downloaded], np.float64)
+    ys = np.array([p.location.y for p in downloaded], np.float64)
+    out: list[SharedRegion] = []
+    for region in regions:
+        mask = (
+            (region.x1 <= xs)
+            & (xs <= region.x2)
+            & (region.y1 <= ys)
+            & (ys <= region.y2)
+        )
+        out.append(
+            (region, tuple([downloaded[i] for i in np.nonzero(mask)[0].tolist()]))
+        )
+    return out
 
 
 class MobileHost:
@@ -191,22 +237,24 @@ class MobileHost:
         complete.update(
             _pois_from_responses(responses, covered, outcome.mvr)
         )
+        cx1, cy1, cx2, cy2 = covered.x1, covered.y1, covered.x2, covered.y2
         cached_pois = tuple(
-            poi
-            for poi in complete.values()
-            if covered.contains_point(poi.location)
+            [
+                poi
+                for poi in complete.values()
+                if cx1 <= poi.location.x <= cx2
+                and cy1 <= poi.location.y <= cy2
+            ]
         )
         shared_regions: list[SharedRegion] = [(covered, cached_pois)]
         # Everything the segment download certifies beyond the search
         # MBR is cacheable too ("store as many received POIs as the
         # cache capacity allows").
-        for region in onair_result.plan.bonus_regions:
-            in_region = tuple(
-                poi
-                for poi in onair_result.downloaded
-                if region.contains_point(poi.location)
+        shared_regions.extend(
+            _pois_per_region(
+                onair_result.plan.bonus_regions, onair_result.downloaded
             )
-            shared_regions.append((region, in_region))
+        )
         for region, pois in shared_regions:
             self.cache.insert_result(region, list(pois), now, position, heading)
         latency = (
@@ -328,13 +376,9 @@ class MobileHost:
         shared_regions: list[SharedRegion] = [
             (window, tuple(sorted(answers.values(), key=lambda p: p.poi_id)))
         ]
-        for region in onair_result.bonus_regions:
-            in_region = tuple(
-                poi
-                for poi in onair_result.downloaded
-                if region.contains_point(poi.location)
-            )
-            shared_regions.append((region, in_region))
+        shared_regions.extend(
+            _pois_per_region(onair_result.bonus_regions, onair_result.downloaded)
+        )
         for region, pois in shared_regions:
             self.cache.insert_result(region, list(pois), now, position, heading)
         latency = (

@@ -423,13 +423,27 @@ class Simulation:
         position = self.host_position(querier)
         # Overhearing is passive: no share request goes on the air, so
         # the neighbourhood lookup must not count as p2p traffic.
-        for pid in self.network.peers_of(querier, position, count_traffic=False):
-            pid = int(pid)
-            peer_position = self.host_position(pid)
-            peer_heading = self.host_heading(pid)
-            for region, pois in result.shared:
-                self.hosts[pid].cache.insert_result(
-                    region, list(pois), now, peer_position, peer_heading
+        peer_ids = self.network.peers_of(querier, position, count_traffic=False)
+        if peer_ids.size == 0:
+            return
+        # One gather against the fleet snapshot for the whole
+        # neighbourhood (instead of a per-peer Point/heading lookup),
+        # and one POI-list materialisation per region (instead of one
+        # per (peer, region) — insert_result never mutates its input).
+        ids = peer_ids.tolist()
+        xs = self._xs[peer_ids].tolist()
+        ys = self._ys[peer_ids].tolist()
+        hxs = self._hx[peer_ids].tolist()
+        hys = self._hy[peer_ids].tolist()
+        shared = [(region, list(pois)) for region, pois in result.shared]
+        hosts = self.hosts
+        for pid, x, y, hx, hy in zip(ids, xs, ys, hxs, hys):
+            cache = hosts[pid].cache
+            peer_position = Point(x, y)
+            peer_heading = (hx, hy)
+            for region, pois in shared:
+                cache.insert_result(
+                    region, pois, now, peer_position, peer_heading
                 )
 
     # ------------------------------------------------------------------

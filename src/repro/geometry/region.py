@@ -40,7 +40,7 @@ def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
     Touching intervals (shared endpoint) are merged; empty and inverted
     inputs are dropped.
     """
-    cleaned = sorted((lo, hi) for lo, hi in intervals if hi > lo)
+    cleaned = sorted([(lo, hi) for lo, hi in intervals if hi > lo])
     merged: list[Interval] = []
     for lo, hi in cleaned:
         if merged and lo <= merged[-1][1]:
@@ -123,17 +123,35 @@ class RectUnion:
     )
 
     def __init__(self, rects: Iterable[Rect] = ()) -> None:
+        # Inline Rect.is_degenerate: constructed per MVR merge.
         self._rects: tuple[Rect, ...] = tuple(
-            r for r in rects if not r.is_degenerate()
+            [r for r in rects if r.x2 != r.x1 and r.y2 != r.y1]
         )
         xs = sorted({x for r in self._rects for x in (r.x1, r.x2)})
         self._xs: list[float] = xs
         slabs: list[list[Interval]] = []
-        for xa, xb in zip(xs, xs[1:]):
-            covering = [
-                (r.y1, r.y2) for r in self._rects if r.x1 <= xa and r.x2 >= xb
-            ]
-            slabs.append(merge_intervals(covering))
+        if len(self._rects) * (len(xs) - 1) >= 256:
+            # Large union (the merged-MVR case): one broadcast
+            # containment test replaces the per-slab Python filter
+            # over all rects; ``nonzero`` preserves rect order, so
+            # each slab sees the same intervals as before.
+            rx1 = np.array([r.x1 for r in self._rects])
+            rx2 = np.array([r.x2 for r in self._rects])
+            y_pairs = [(r.y1, r.y2) for r in self._rects]
+            xa = np.array(xs[:-1])
+            xb = np.array(xs[1:])
+            cover = (rx1 <= xa[:, None]) & (rx2 >= xb[:, None])
+            for row in cover:
+                covering = [y_pairs[j] for j in np.nonzero(row)[0].tolist()]
+                slabs.append(merge_intervals(covering))
+        else:
+            for xa, xb in zip(xs, xs[1:]):
+                covering = [
+                    (r.y1, r.y2)
+                    for r in self._rects
+                    if r.x1 <= xa and r.x2 >= xb
+                ]
+                slabs.append(merge_intervals(covering))
         self._slab_intervals: list[list[Interval]] = slabs
         self._area = sum(
             (xb - xa) * intervals_total_length(iv)

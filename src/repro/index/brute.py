@@ -7,6 +7,7 @@ hold tens of POIs, where a scan beats any structure).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence
 
 from ..geometry import Point, Rect
@@ -22,8 +23,15 @@ def brute_force_knn(
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    # Inline Point.distance_to (hypot is symmetric in sign, so the
+    # operand order cannot change a bit).
+    hyp = math.hypot
+    qx, qy = query.x, query.y
     ranked = sorted(
-        ((poi.distance_to(query), poi.poi_id, poi) for poi in pois),
+        [
+            (hyp(poi.location.x - qx, poi.location.y - qy), poi.poi_id, poi)
+            for poi in pois
+        ]
     )
     return [QueryResultEntry(poi, dist) for dist, _, poi in ranked[:k]]
 

@@ -72,11 +72,11 @@ class ShareResponse:
         first use and cached for every later query against it.
         """
         if self._poi_arrays is None:
-            n = len(self.pois)
+            locations = [p.location for p in self.pois]
             arrays = (
-                np.fromiter((p.poi_id for p in self.pois), np.int64, count=n),
-                np.fromiter((p.location.x for p in self.pois), np.float64, count=n),
-                np.fromiter((p.location.y for p in self.pois), np.float64, count=n),
+                np.array([p.poi_id for p in self.pois], np.int64),
+                np.array([p.x for p in locations], np.float64),
+                np.array([p.y for p in locations], np.float64),
             )
             object.__setattr__(self, "_poi_arrays", arrays)
         return self._poi_arrays

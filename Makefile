@@ -2,7 +2,7 @@
 # -> a fixed-seed differential-oracle smoke (faults off and on) -> a
 # perf smoke (profiled 500-query kNN run vs the committed baseline).
 #
-# `make bench-baseline` re-records BENCH_PR5.json on the current
+# `make bench-baseline` re-records BENCH_PR6.json on the current
 # machine; commit it whenever the hot path (or the hardware the CI
 # runs on) changes, or the 25% perf-smoke allowance goes stale.
 #
@@ -46,10 +46,13 @@ oracle-smoke:
 	$(PYTHON) -m repro.cli check --seed 0 --queries 600
 
 perf-smoke:
-	@echo ">> perf smoke (profiled 500-query kNN run vs BENCH_PR5.json)"
+	@echo ">> perf smoke (profiled 500-query kNN run vs BENCH_PR6.json)"
 	$(PYTHON) -m repro.cli profile --repeat 2 \
-		--baseline BENCH_PR5.json --max-regression 0.25
+		--baseline BENCH_PR6.json --max-regression 0.25
 
 bench-baseline:
-	@echo ">> recording profiled-workload baseline -> BENCH_PR5.json"
-	$(PYTHON) -m repro.cli profile --repeat 3 --out BENCH_PR5.json
+	@echo ">> recording profiled-workload baseline -> BENCH_PR6.json"
+	$(PYTHON) -m repro.cli profile --repeat 3 --out BENCH_PR6.json
+	@echo ">> cache-churn microbenchmark (informational)"
+	$(PYTHON) -m repro.cli profile --kind churn --queries 4000 \
+		--repeat 3 --top 10

@@ -79,31 +79,116 @@ class DirectionDistancePolicy:
         """Vectorised eviction scores over a structure-of-arrays view.
 
         Returns ``(scores, poi_ids)``; larger score means evict first.
+        See :meth:`score_arrays` for the float contract.
+        """
+        # POI.x/.y are properties over .location; chase the Point once.
+        locations = [item.poi.location for item in items]
+        xs = np.array([p.x for p in locations], np.float64)
+        ys = np.array([p.y for p in locations], np.float64)
+        ids = np.array([item.poi.poi_id for item in items], np.int64)
+        return self.score_arrays(xs, ys, host_position, heading), ids
+
+    def score_arrays(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> np.ndarray:
+        """Eviction scores straight from coordinate arrays.
+
         The distance column runs ``math.hypot`` per element (its
         rounding differs from ``np.hypot`` in ~0.6 % of cases and the
         historical ranking depends on it); the behind-penalty and the
         degenerate-heading degradation are applied as array ops with
         the same float expressions as the scalar definition.
         """
-        hyp = math.hypot
-        qx, qy = host_position.x, host_position.y
-        # POI.x/.y are properties over .location; chase the Point once.
-        locations = [item.poi.location for item in items]
-        xs = np.array([p.x for p in locations], np.float64)
-        ys = np.array([p.y for p in locations], np.float64)
-        ids = np.array([item.poi.poi_id for item in items], np.int64)
-        dx = xs - qx
-        dy = ys - qy
-        dist = np.array(
-            [hyp(a, b) for a, b in zip(dx.tolist(), dy.tolist())],
-            np.float64,
+        dx = xs - host_position.x
+        dy = ys - host_position.y
+        dist = np.fromiter(
+            map(math.hypot, dx.tolist(), dy.tolist()), np.float64, dx.size
         )
         hx, hy = heading
         if hx == 0.0 and hy == 0.0:
             # Degenerate-heading contract: pure farthest-distance.
-            return dist, ids
+            return dist
         behind = dx * hx + dy * hy < 0.0
-        return np.where(behind, dist * (1.0 + self.behind_penalty), dist), ids
+        return np.where(behind, dist * (1.0 + self.behind_penalty), dist)
+
+    def select_victims(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ids: np.ndarray,
+        excess: int,
+        host_position: Point,
+        heading: tuple[float, float],
+    ) -> np.ndarray:
+        """Indices of the top-``excess`` victims, in eviction order.
+
+        Identical ranking to :meth:`rank_victims` sliced to ``excess``
+        (the batch-eviction property suite pins the two).  Small pools
+        score every item directly — at typical cache sizes (tens to a
+        few hundred items) the exact kernel is a handful of array ops
+        and any pruning machinery costs more than it saves.  Large
+        pools run the exact per-element ``math.hypot`` only on a
+        pruned candidate set:
+
+        * every score is bracketed by the Chebyshev distance below and
+          the Manhattan distance above (``max(|dx|,|dy|) <= hypot <=
+          |dx|+|dy|``).  Each bound is one correctly-rounded operation
+          away from its exact value, and IEEE round-to-nearest is
+          monotone, so after the behind-penalty multiply the float
+          bracket still holds *elementwise* for the float scores;
+        * at least ``excess`` items have a lower bound at or above the
+          ``excess``-th largest lower bound ``T``, so any item whose
+          upper bound falls below ``T`` ranks strictly below ``excess``
+          better items and can never be a victim.
+        """
+        n = int(ids.size)
+        excess = min(excess, n)
+        if excess <= 0:
+            return np.empty(0, dtype=np.intp)
+        if n < 512:
+            scores = self.score_arrays(xs, ys, host_position, heading)
+            order = np.lexsort((np.negative(ids), np.negative(scores)))
+            return order[:excess]
+        dx = xs - host_position.x
+        dy = ys - host_position.y
+        adx = np.abs(dx)
+        ady = np.abs(dy)
+        lower = np.maximum(adx, ady)
+        upper = adx + ady
+        hx, hy = heading
+        degenerate = hx == 0.0 and hy == 0.0
+        if not degenerate:
+            mult = np.where(
+                dx * hx + dy * hy < 0.0, 1.0 + self.behind_penalty, 1.0
+            )
+            lower = lower * mult
+            upper = upper * mult
+        if excess >= n:
+            candidates = np.arange(n, dtype=np.intp)
+        else:
+            threshold = np.partition(lower, n - excess)[n - excess]
+            candidates = np.flatnonzero(upper >= threshold)
+        cdx = dx[candidates]
+        cdy = dy[candidates]
+        scores = np.fromiter(
+            map(math.hypot, cdx.tolist(), cdy.tolist()),
+            np.float64,
+            candidates.size,
+        )
+        if not degenerate:
+            scores = np.where(
+                cdx * hx + cdy * hy < 0.0,
+                scores * (1.0 + self.behind_penalty),
+                scores,
+            )
+        order = np.lexsort(
+            (np.negative(ids[candidates]), np.negative(scores))
+        )
+        return candidates[order[:excess]]
 
 
 class LRUPolicy:

@@ -8,6 +8,19 @@ shrink any region containing the victim so the invariant survives.
 Shrinking cuts the region along the side that loses the least area and
 pushes the cut a hair (``EVICTION_MARGIN``) past the victim so the
 victim ends up strictly outside the closed region.
+
+Two auxiliary structures ride along with the POI table:
+
+* a structure-of-arrays mirror of the cached POI coordinates and ids
+  (append on insert, swap-remove on evict), so the eviction policy
+  scores candidates straight from arrays instead of rebuilding them
+  from the item dict on every capacity breach;
+* a lazily materialised :class:`~repro.geometry.SlabUnion` mirror of
+  the verified regions (:attr:`POICache.region_union`): inserts update
+  the affected slabs, evictions become point-cut subtractions.  The
+  mirror is a *sound over-approximation refined per eviction* — it
+  keeps the verified area the rectangle shrinking forfeits — while
+  ``_regions`` remains the exact wire format ``share()`` sends.
 """
 
 from __future__ import annotations
@@ -16,12 +29,20 @@ from typing import Iterable, Sequence
 
 from ..check import invariants
 from ..errors import CacheError
-from ..geometry import Point, Rect
+from ..geometry import Point, Rect, SlabUnion
 from ..model import POI
 from .entry import CacheItem, VerifiedRegion
 from .policy import DirectionDistancePolicy, ReplacementPolicy
 
+import numpy as np
+
 EVICTION_MARGIN = 1e-9
+
+# Slab count above which the region mirror is dropped and lazily
+# rebuilt from the (few, coalesced) wire-format regions: point cuts
+# accrete two x cuts each, and past this size a fresh bulk build is
+# cheaper than carrying the perforations.
+MIRROR_COMPACT_SLABS = 96
 
 
 def _descending_area(vr: "VerifiedRegion") -> float:
@@ -30,22 +51,29 @@ def _descending_area(vr: "VerifiedRegion") -> float:
 
 
 def shrink_rect_to_exclude(rect: Rect, p: Point) -> Rect | None:
-    """The largest of the four axis cuts of ``rect`` that excludes ``p``.
+    """The largest of the four axis cuts of ``rect`` that excludes ``p``."""
+    return shrink_rect_to_exclude_xy(rect, p.x, p.y)
+
+
+def shrink_rect_to_exclude_xy(rect: Rect, px: float, py: float) -> Rect | None:
+    """The largest of the four axis cuts of ``rect`` excluding ``(px, py)``.
 
     Returns ``None`` when no positive-area remainder exists.
 
     The candidate areas are compared arithmetically (same expressions
     as ``Rect.area``, same left/right/down/up precedence on ties) and
     only the winning rectangle is constructed — this runs once per
-    (region, victim) shrink, the hottest loop of cache eviction.
+    (region, victim) shrink, the hottest loop of cache eviction, so
+    the victim arrives as two floats straight off the eviction arrays
+    rather than a constructed :class:`Point`.
     """
-    if not rect.contains_point(p):
-        return rect
     x1, y1, x2, y2 = rect.x1, rect.y1, rect.x2, rect.y2
-    cut_left = p.x - EVICTION_MARGIN
-    cut_right = p.x + EVICTION_MARGIN
-    cut_down = p.y - EVICTION_MARGIN
-    cut_up = p.y + EVICTION_MARGIN
+    if not (x1 <= px <= x2 and y1 <= py <= y2):
+        return rect
+    cut_left = px - EVICTION_MARGIN
+    cut_right = px + EVICTION_MARGIN
+    cut_down = py - EVICTION_MARGIN
+    cut_up = py + EVICTION_MARGIN
     width = x2 - x1
     height = y2 - y1
     best = -1
@@ -91,6 +119,7 @@ class POICache:
         capacity: int,
         policy: ReplacementPolicy | None = None,
         max_regions: int = 4,
+        incremental: bool = True,
     ):
         if capacity < 1:
             raise CacheError(f"cache capacity must be >= 1, got {capacity}")
@@ -99,8 +128,27 @@ class POICache:
         self.capacity = capacity
         self.max_regions = max_regions
         self.policy = policy if policy is not None else DirectionDistancePolicy()
+        # ``incremental=False`` pins the sequential reference paths
+        # (full rank-and-slice eviction, append+coalesce on every
+        # insert) for the churn differential suite; both paths must
+        # produce bit-identical observable state.
+        self.incremental = incremental
         self._items: dict[int, CacheItem] = {}
         self._regions: list[VerifiedRegion] = []
+        # Structure-of-arrays mirror of the POI table: coordinates and
+        # ids appended on insert, swap-removed on evict, so capacity
+        # enforcement scores candidates without rebuilding arrays from
+        # the item dict.  No id->slot map is kept — the batch eviction
+        # path already knows its victims' slots, and the sequential
+        # reference path (:meth:`_evict`) scans the id column.
+        self._slot_n = 0
+        self._slot_xs = np.empty(64, np.float64)
+        self._slot_ys = np.empty(64, np.float64)
+        self._slot_ids = np.empty(64, np.int64)
+        # Lazily materialised slab-decomposition mirror of the
+        # verified regions (see the module docstring); ``None`` means
+        # "rebuild from region_rects on next access".
+        self._mirror: SlabUnion | None = None
         # Monotone content stamp: bumped whenever the POI set or the
         # verified regions change, so share responses and merged MVRs
         # can be memoised on (host, generation) and stay sound.
@@ -117,6 +165,32 @@ class POICache:
         # (generation, payload) memos for the share/pois accessors.
         self._pois_memo: tuple[int, tuple[POI, ...]] | None = None
         self._share_memo: tuple[int, tuple[Rect, ...], tuple[POI, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    def _drop_slot_of(self, poi_id: int) -> None:
+        """Swap-remove one POI from the coordinate arrays by id.
+
+        Scans the (small) id column — only the sequential reference
+        paths come through here; the batch eviction path already
+        knows its victims' slot indices.
+        """
+        last = self._slot_n - 1
+        ids_b = self._slot_ids
+        slot = int(np.flatnonzero(ids_b[: last + 1] == poi_id)[0])
+        self._slot_n = last
+        if slot != last:
+            self._slot_xs[slot] = self._slot_xs[last]
+            self._slot_ys[slot] = self._slot_ys[last]
+            ids_b[slot] = ids_b[last]
+
+    def _grow_slots(self) -> None:
+        """Double the coordinate-array capacity (amortised O(1))."""
+        n = self._slot_n
+        for name in ("_slot_xs", "_slot_ys", "_slot_ids"):
+            old = getattr(self, name)
+            grown = np.empty(2 * n, old.dtype)
+            grown[:n] = old
+            setattr(self, name, grown)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -145,6 +219,25 @@ class POICache:
     @property
     def region_rects(self) -> list[Rect]:
         return [vr.rect for vr in self._regions]
+
+    @property
+    def region_union(self) -> SlabUnion:
+        """Live slab-decomposition union of this host's verified area.
+
+        Materialised lazily from the wire-format rectangles, then
+        maintained incrementally: region inserts update the affected
+        slabs, evictions subtract a point cut around each victim.
+        The result is a *sound superset* of ``RectUnion(region_rects)``
+        — rectangle shrinking forfeits a whole strip per victim where
+        the mirror only loses the margin square — so containment in
+        the mirror still implies complete cached POI knowledge (the
+        invariant :meth:`check_soundness` asserts).
+        """
+        mirror = self._mirror
+        if mirror is None:
+            mirror = SlabUnion.from_rects(self.region_rects)
+            self._mirror = mirror
+        return mirror
 
     # ------------------------------------------------------------------
     def insert_result(
@@ -191,30 +284,118 @@ class POICache:
         heading: tuple[float, float],
     ) -> tuple[int, int]:
         """The uninstrumented insert; returns (POIs added, POIs evicted)."""
-        added = 0
         items = self._items
-        get = items.get
+        n = self._slot_n
+        xs_b = self._slot_xs
+        ys_b = self._slot_ys
+        ids_b = self._slot_ids
+        cap = xs_b.size
+        start_n = n
+        new_item = CacheItem.__new__
         for poi in pois:
-            item = get(poi.poi_id)
-            if item is not None:
-                item.last_used = now
+            # ``in`` + subscript instead of ``dict.get``: the
+            # containment and subscript opcodes stay off the profiled
+            # C-call path this loop otherwise dominates, and misses
+            # (the common case under churn) pay no failed lookup
+            # result handling.
+            poi_id = poi.poi_id
+            if poi_id in items:
+                items[poi_id].last_used = now
             else:
-                items[poi.poi_id] = CacheItem(poi, now, now)
-                added += 1
+                # Inline CacheItem(poi, now, now): allocation via
+                # __new__ plus direct slot stores — one C allocation
+                # instead of a Python-frame __init__ per cached POI.
+                item = new_item(CacheItem)
+                item.poi = poi
+                item.inserted_at = now
+                item.last_used = now
+                items[poi_id] = item
+                if n == cap:
+                    self._slot_n = n
+                    self._grow_slots()
+                    xs_b = self._slot_xs
+                    ys_b = self._slot_ys
+                    ids_b = self._slot_ids
+                    cap = xs_b.size
+                location = poi.location
+                xs_b[n] = location.x
+                ys_b[n] = location.y
+                ids_b[n] = poi_id
+                n += 1
+        self._slot_n = n
+        added = n - start_n
         changed = added > 0
         # Inline Rect.is_degenerate (zero width or height): IEEE
         # subtraction is zero exactly when the operands are equal.
         if region.x2 != region.x1 and region.y2 != region.y1:
-            changed = True
-            self._regions.append(VerifiedRegion(region, now))
-            self._coalesce_regions()
-            while len(self._regions) > self.max_regions:
-                # Drop the region farthest from the host; its POIs stay.
-                farthest = max(
-                    self._regions,
-                    key=lambda vr: vr.rect.distance_to_point(host_position),
-                )
-                self._regions.remove(farthest)
+            regions = self._regions
+            if self.incremental and self._regions_coalesced and regions:
+                # Fused covered-check + fast coalesce: while the
+                # incumbents are containment-free, one pass over them
+                # settles the newcomer (the same loop
+                # :meth:`_coalesce_regions` would run after an
+                # append).  A newcomer inside an incumbent changes
+                # neither the region list nor the union — skip the
+                # append *and* the generation bump (nothing
+                # observable moved, so share payloads and merged-MVR
+                # memos stay valid, which is exactly what the memo
+                # keys exist to exploit).  Otherwise drop any
+                # incumbents the newcomer covers and binary-insert it
+                # into the area-descending order, as the fast
+                # coalesce path does.
+                rx1, ry1 = region.x1, region.y1
+                rx2, ry2 = region.x2, region.y2
+                covered: list[int] | None = None
+                covered_by_incumbent = False
+                for idx in range(len(regions)):
+                    o = regions[idx].rect
+                    if (
+                        o.x1 <= rx1
+                        and o.y1 <= ry1
+                        and rx2 <= o.x2
+                        and ry2 <= o.y2
+                    ):
+                        covered_by_incumbent = True
+                        break
+                    if (
+                        rx1 <= o.x1
+                        and ry1 <= o.y1
+                        and o.x2 <= rx2
+                        and o.y2 <= ry2
+                    ):
+                        if covered is None:
+                            covered = [idx]
+                        else:
+                            covered.append(idx)
+                if not covered_by_incumbent:
+                    changed = True
+                    if covered is not None:
+                        for idx in reversed(covered):
+                            del regions[idx]
+                    new_vr = VerifiedRegion(region, now)
+                    area = new_vr.area
+                    if regions and regions[-1].area >= area:
+                        regions.append(new_vr)
+                    else:
+                        lo, hi = 0, len(regions)
+                        while lo < hi:
+                            mid = (lo + hi) // 2
+                            if regions[mid].area >= area:
+                                lo = mid + 1
+                            else:
+                                hi = mid
+                        regions.insert(lo, new_vr)
+                    mirror = self._mirror
+                    if mirror is not None:
+                        # Dropping covered rectangles never changes
+                        # the union — the newcomer is the only
+                        # geometric delta, applied to its slabs.
+                        mirror.insert_rect(region)
+                    if len(regions) > self.max_regions:
+                        self._trim_regions(host_position)
+            else:
+                changed = True
+                self._append_region(region, now, host_position)
         # Inlined no-excess guard: most inserts sit at or under
         # capacity and skip the call entirely.
         evicted = 0
@@ -225,6 +406,49 @@ class POICache:
         if invariants.ENABLED:
             invariants.check_cache(self)
         return added, evicted
+
+    def _append_region(
+        self, region: Rect, now: float, host_position: Point
+    ) -> None:
+        """Append a verified region the general way: full coalesce.
+
+        The reference path (``incremental=False``) and the
+        post-shrink path (``_regions_coalesced`` false) land here; the
+        common case is fused into :meth:`_insert_result`.
+        """
+        regions = self._regions
+        new_vr = VerifiedRegion(region, now)
+        regions.append(new_vr)
+        self._coalesce_regions()
+        mirror = self._mirror
+        if mirror is not None:
+            # Coalescing only ever drops covered rectangles, which
+            # never changes the union — the kept newcomer is the only
+            # geometric delta, applied to its affected slabs.
+            for vr in regions:
+                if vr is new_vr:
+                    mirror.insert_rect(region)
+                    break
+        if len(regions) > self.max_regions:
+            self._trim_regions(host_position)
+
+    def _trim_regions(self, host_position: Point) -> None:
+        """Enforce ``max_regions``: drop the region farthest from the
+        host (its POIs stay cached).  Single pass, one distance per
+        region; ties keep the first maximum, as ``max()`` over the old
+        per-trip lambda did."""
+        regions = self._regions
+        while len(regions) > self.max_regions:
+            worst = 0
+            worst_dist = regions[0].rect.distance_to_point(host_position)
+            for idx in range(1, len(regions)):
+                dist = regions[idx].rect.distance_to_point(host_position)
+                if dist > worst_dist:
+                    worst, worst_dist = idx, dist
+            del regions[worst]
+            # Removing a rectangle can carve the union arbitrarily;
+            # rebuild the mirror lazily from the survivors.
+            self._mirror = None
 
     def touch(self, poi_ids: Iterable[int], now: float) -> None:
         """Record use of cached POIs (LRU bookkeeping)."""
@@ -351,16 +575,59 @@ class POICache:
         excess = len(self._items) - self.capacity
         if excess <= 0:
             return 0
-        victims = self.policy.rank_victims(
-            list(self._items.values()), host_position, heading
-        )[:excess]
         items = self._items
-        for item in victims:
-            del items[item.poi.poi_id]
-        self._repair_regions([item.poi.location for item in victims])
+        xs_b = self._slot_xs
+        ys_b = self._slot_ys
+        ids_b = self._slot_ids
+        select = getattr(self.policy, "select_victims", None)
+        if self.incremental and select is not None:
+            # Victims straight from the coordinate arrays (same
+            # ranking as rank_victims — the batch-eviction suite pins
+            # it), then swap-remove their slots highest-index first so
+            # a pending victim is never relocated into a freed slot.
+            n = self._slot_n
+            sel = select(
+                xs_b[:n], ys_b[:n], ids_b[:n], excess, host_position, heading
+            )
+            victim_ids = ids_b[sel].tolist()
+            vxs = xs_b[sel].tolist()
+            vys = ys_b[sel].tolist()
+            for vid in victim_ids:
+                del items[vid]
+            for slot in np.sort(sel)[::-1].tolist():
+                last = self._slot_n - 1
+                self._slot_n = last
+                if slot != last:
+                    xs_b[slot] = xs_b[last]
+                    ys_b[slot] = ys_b[last]
+                    ids_b[slot] = ids_b[last]
+        else:
+            victims = self.policy.rank_victims(
+                list(items.values()), host_position, heading
+            )[:excess]
+            vxs = []
+            vys = []
+            for item in victims:
+                vid = item.poi.poi_id
+                del items[vid]
+                self._drop_slot_of(vid)
+                location = item.poi.location
+                vxs.append(location.x)
+                vys.append(location.y)
+        self._repair_regions(vxs, vys)
+        mirror = self._mirror
+        if mirror is not None:
+            for x, y in zip(vxs, vys):
+                p = Point(x, y)
+                if mirror.contains_point(p):
+                    mirror.subtract_point_cut(p)
+            if mirror.slab_count > MIRROR_COMPACT_SLABS:
+                self._mirror = None
         return excess
 
-    def _repair_regions(self, victims: Sequence[Point]) -> None:
+    def _repair_regions(
+        self, vxs: Sequence[float], vys: Sequence[float]
+    ) -> None:
         """Shrink every region covering an evicted point, in one pass.
 
         Equivalent to applying the per-victim shrink loop of
@@ -368,20 +635,22 @@ class POICache:
         one another, so the victim loop can move inside the region
         loop as long as each region sees the victims in eviction
         order.  ``max_regions`` keeps the outer loop tiny, so the
-        containment test runs on local floats (refreshed after each
-        shrink) rather than a batched matrix build.
+        containment test runs on local floats (victim coordinates
+        arrive as parallel float lists straight off the eviction
+        arrays, bounds refreshed after each shrink) rather than a
+        batched matrix build.
         """
         regions = self._regions
-        if not regions or not victims:
+        if not regions or not vxs:
             return
         updated: list[VerifiedRegion] = []
         changed = False
         for vr in regions:
             rect = vr.rect
             x1, y1, x2, y2 = rect.x1, rect.y1, rect.x2, rect.y2
-            for p in victims:
-                if x1 <= p.x <= x2 and y1 <= p.y <= y2:
-                    rect = shrink_rect_to_exclude(rect, p)
+            for px, py in zip(vxs, vys):
+                if x1 <= px <= x2 and y1 <= py <= y2:
+                    rect = shrink_rect_to_exclude_xy(rect, px, py)
                     if rect is None:
                         break
                     x1, y1, x2, y2 = rect.x1, rect.y1, rect.x2, rect.y2
@@ -407,6 +676,7 @@ class POICache:
         if poi.poi_id not in self._items:
             raise CacheError(f"evicting uncached POI {poi.poi_id}")
         del self._items[poi.poi_id]
+        self._drop_slot_of(poi.poi_id)
         updated: list[VerifiedRegion] = []
         shrunk_any = False
         for vr in self._regions:
@@ -420,6 +690,13 @@ class POICache:
         if shrunk_any:
             self._regions = updated
             self._regions_coalesced = False
+        mirror = self._mirror
+        if mirror is not None:
+            location = poi.location
+            if mirror.contains_point(location):
+                mirror.subtract_point_cut(location)
+            if mirror.slab_count > MIRROR_COMPACT_SLABS:
+                self._mirror = None
 
     # ------------------------------------------------------------------
     def check_soundness(
@@ -428,8 +705,11 @@ class POICache:
         """Test helper: assert the verified-region invariant.
 
         Every server POI strictly inside a region (by more than
-        ``margin``) must be cached.
+        ``margin``) must be cached.  When the slab mirror is
+        materialised, the same contract is asserted over its (larger)
+        area: a POI strictly interior to the mirror must be cached.
         """
+        server_pois = list(server_pois)
         for vr in self._regions:
             inner = vr.rect
             try:
@@ -441,4 +721,18 @@ class POICache:
                     raise CacheError(
                         f"verified region {vr.rect.as_tuple()} covers uncached"
                         f" POI {poi.poi_id} at ({poi.x}, {poi.y})"
+                    )
+        mirror = self._mirror
+        if mirror is not None and not mirror.is_empty:
+            for poi in server_pois:
+                if poi.poi_id in self:
+                    continue
+                location = poi.location
+                if (
+                    mirror.contains_point(location)
+                    and mirror.distance_to_boundary(location) > margin
+                ):
+                    raise CacheError(
+                        f"region mirror covers uncached POI {poi.poi_id}"
+                        f" at ({poi.x}, {poi.y})"
                     )

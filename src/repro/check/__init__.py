@@ -48,6 +48,7 @@ _LAZY = {
     "shrink_disagreement": "differential",
     "write_artifact": "differential",
     "knn_radius_monotone": "metamorphic",
+    "region_mirror_consistency": "metamorphic",
     "translation_invariant_knn": "metamorphic",
     "union_area_monotone": "metamorphic",
     "window_shrink_duality": "metamorphic",

@@ -53,7 +53,11 @@ from ..workloads import (
 )
 from . import invariants
 from .invariants import InvariantViolation
-from .metamorphic import knn_radius_monotone, window_shrink_duality
+from .metamorphic import (
+    knn_radius_monotone,
+    region_mirror_consistency,
+    window_shrink_duality,
+)
 from .oracles import oracle_knn, oracle_window_ids, world_digest
 
 PARAM_SETS = {
@@ -573,11 +577,12 @@ def run_campaign(
                 spot = knn_radius_monotone(
                     sim.station.client, position, (1, 2, 4, 8)
                 )
-                regions, _ = sim.hosts[event.host_id].cache.share()
+                cache = sim.hosts[event.host_id].cache
+                regions, _ = cache.share()
                 if regions:
-                    spot += window_shrink_duality(
-                        RectUnion(regions), sim.params.bounds
-                    )
+                    eager = RectUnion(regions)
+                    spot += window_shrink_duality(eager, sim.params.bounds)
+                    spot += region_mirror_consistency(cache, eager)
                 if spot:
                     disagreements.append(
                         Disagreement(

@@ -184,7 +184,7 @@ def check_retrieval_cost(cost: "RetrievalCost", planned_buckets: int) -> None:
 
 
 def check_cache(cache) -> None:
-    """Capacity and region-cap contracts of a cooperative cache."""
+    """Capacity, region-cap, and mirror contracts of a cooperative cache."""
     if len(cache) > cache.capacity:
         raise InvariantViolation(
             f"cache holds {len(cache)} POIs, capacity {cache.capacity}"
@@ -194,3 +194,12 @@ def check_cache(cache) -> None:
             f"cache holds {len(cache.regions)} regions,"
             f" cap {cache.max_regions}"
         )
+    mirror = getattr(cache, "_mirror", None)
+    if mirror is not None:
+        # The slab mirror is maintained as a superset of the wire
+        # rectangles: every region must still be covered by it.
+        for rect in cache.region_rects:
+            if not mirror.covers_rect(rect):
+                raise InvariantViolation(
+                    f"region mirror does not cover region {rect!r}"
+                )

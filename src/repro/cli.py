@@ -10,7 +10,8 @@ Usage::
     python -m repro.cli trace-summary trace.jsonl
     python -m repro.cli check --seed 0 --queries 10000
     python -m repro.cli profile --queries 500 --top 15
-    python -m repro.cli profile --baseline BENCH_PR5.json --max-regression 0.25
+    python -m repro.cli profile --baseline BENCH_PR6.json --max-regression 0.25
+    python -m repro.cli profile --kind churn --queries 4000
 
 The CSV written by ``figure`` has one row per (region, x, series) —
 see :mod:`repro.experiments.export`.  ``--trace PATH`` (on ``figure``,
@@ -265,8 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--region", choices=sorted(REGIONS), default="la")
     prof.add_argument("--scale", type=float, default=0.1)
     prof.add_argument(
-        "--kind", choices=("knn", "window"), default="knn",
-        help="query kind of the profiled workload",
+        "--kind", choices=("knn", "window", "churn"), default="knn",
+        help="profiled workload: a query kind, or 'churn' for the"
+        " synthetic cache insert/evict microbenchmark (--queries"
+        " becomes the op count; --region/--scale are ignored)",
     )
     prof.add_argument("--queries", type=int, default=500)
     prof.add_argument("--seed", type=int, default=0)
@@ -504,21 +507,33 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
-    params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
-    kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
     best_wall = math.inf
     best_profiler: cProfile.Profile | None = None
-    for _ in range(max(1, args.repeat)):
-        # A fresh world per repeat: the workload must see identical
-        # cold caches each time for the runs to be comparable.
-        sim = Simulation(params, seed=args.seed)
-        profiler = cProfile.Profile()
-        start = time.perf_counter()
-        profiler.runcall(sim.run_workload, kind, 0, args.queries)
-        wall = time.perf_counter() - start
-        if wall < best_wall:
-            best_wall = wall
-            best_profiler = profiler
+    if args.kind == "churn":
+        from .experiments.bench import bench_cache_churn
+
+        for _ in range(max(1, args.repeat)):
+            profiler = cProfile.Profile()
+            start = time.perf_counter()
+            profiler.runcall(bench_cache_churn, args.queries, args.seed)
+            wall = time.perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+                best_profiler = profiler
+    else:
+        params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+        kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
+        for _ in range(max(1, args.repeat)):
+            # A fresh world per repeat: the workload must see identical
+            # cold caches each time for the runs to be comparable.
+            sim = Simulation(params, seed=args.seed)
+            profiler = cProfile.Profile()
+            start = time.perf_counter()
+            profiler.runcall(sim.run_workload, kind, 0, args.queries)
+            wall = time.perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+                best_profiler = profiler
     stats = pstats.Stats(best_profiler)
     sort_field = {"tottime": 2, "cumtime": 3, "calls": 1}[args.sort]
     rows = [
@@ -584,10 +599,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(document)
     else:
         p = report["parameters"]
+        if p["kind"] == "churn":
+            workload = f"{p['queries']} cache-churn ops per capacity"
+        else:
+            workload = (
+                f"{p['queries']} {p['kind']} queries on {p['region']}"
+                f" (scale {p['area_scale']:g})"
+            )
         print(
-            f"{p['queries']} {p['kind']} queries on {p['region']}"
-            f" (scale {p['area_scale']:g}, seed {p['seed']},"
-            f" best of {p['repeat']}):"
+            f"{workload} (seed {p['seed']}, best of {p['repeat']}):"
             f" {best_wall:.3f} s profiled wall,"
             f" {report['total_calls']:,} calls"
         )

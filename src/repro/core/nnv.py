@@ -13,23 +13,33 @@ Two performance layers sit under the algorithm:
   response) replaces the per-POI Python loop; ``nnv_scalar`` keeps the
   loop-based reference implementation, asserted byte-identical in the
   equivalence tests;
-* :class:`MVRMemo` memoises the merged ``RectUnion`` keyed on the
-  tuple of contributing ``(peer_id, generation)`` pairs, so a query
-  against unchanged peer caches skips the slab decomposition (and its
-  cached boundary segments survive with it).
+* :class:`MVRMemo` memoises the merged union keyed on the tuple of
+  contributing ``(peer_id, generation)`` pairs, so a query against
+  unchanged peer caches skips the slab decomposition (and its cached
+  boundary arrays survive with it).  Misses are *incremental*: when
+  the new response set only adds rectangles over the previous merge,
+  the memo clones the previous :class:`~repro.geometry.SlabUnion`
+  (copy-on-write, shared interval tuples) and inserts just the delta —
+  the canonical-form contract makes the result bit-identical to an
+  eager rebuild.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
-from ..geometry import Point, RectUnion
+from ..geometry import Point, RectUnion, SlabUnion
 from ..model import POI
 from ..p2p import ShareResponse
 from .heap import HeapEntry, ResultHeap
+
+# The merged-MVR object: eager (unstamped one-shot merges) or
+# persistent (memoised merges).  Same read contract, pinned to the
+# same slab kernels in repro.geometry.region.
+RegionUnion = Union[RectUnion, SlabUnion]
 
 
 def merge_verified_regions(responses: Sequence[ShareResponse]) -> RectUnion:
@@ -47,21 +57,34 @@ class MVRMemo:
 
     A set of share responses whose ``(peer_id, generation)`` stamps all
     match a previous merge is guaranteed to carry the same regions, so
-    the previously built :class:`RectUnion` (slab decomposition,
-    cached boundary) is returned as-is.  Responses without a stamp
-    (``generation < 0``) bypass the memo.  Own one memo per querying
-    host — generations are only unique per cache, not globally.
+    the previously built union (slab decomposition, cached boundary)
+    is returned as-is.  Responses without a stamp (``generation < 0``)
+    bypass the memo.  Own one memo per querying host — generations are
+    only unique per cache, not globally.
+
+    Memo misses are merged incrementally against the most recent
+    result: an unchanged rectangle set reuses the previous (frozen)
+    union outright, a grown set clones it and inserts only the added
+    rectangles, and only a shrunk/changed set pays for a bulk rebuild.
+    ``delta_merges`` counts the misses served by the cheap path.
+    Canonical slab form is preserved either way, so every derived
+    float is independent of which path built the union.  (On the
+    delta path :attr:`~repro.geometry.SlabUnion.rects` reflects
+    insertion history rather than response order; the geometry is
+    identical.)
     """
 
-    __slots__ = ("maxsize", "_memo", "hits", "misses")
+    __slots__ = ("maxsize", "_memo", "_last", "hits", "misses", "delta_merges")
 
     def __init__(self, maxsize: int = 128):
         self.maxsize = maxsize
-        self._memo: OrderedDict[tuple, RectUnion] = OrderedDict()
+        self._memo: OrderedDict[tuple, SlabUnion] = OrderedDict()
+        self._last: tuple[frozenset, SlabUnion] | None = None
         self.hits = 0
         self.misses = 0
+        self.delta_merges = 0
 
-    def merged(self, responses: Sequence[ShareResponse]) -> RectUnion:
+    def merged(self, responses: Sequence[ShareResponse]) -> RegionUnion:
         key = tuple((r.peer_id, r.generation) for r in responses)
         if any(generation < 0 for _, generation in key):
             return merge_verified_regions(responses)
@@ -69,17 +92,44 @@ class MVRMemo:
         if cached is not None:
             self.hits += 1
             self._memo.move_to_end(key)
+            self._last = (
+                frozenset(
+                    rect for response in responses for rect in response.regions
+                ),
+                cached,
+            )
             return cached
         self.misses += 1
-        mvr = merge_verified_regions(responses)
+        rects = [
+            rect for response in responses for rect in response.regions
+        ]
+        rect_set = frozenset(rects)
+        if self._last is not None and rect_set == self._last[0]:
+            # Same geometry under new stamps (peers bumped their
+            # generations for POI-only changes): reuse outright.
+            self.delta_merges += 1
+            mvr = self._last[1]
+        elif self._last is not None and rect_set > self._last[0]:
+            # Pure growth: clone the previous union (O(slabs), shares
+            # every interval tuple) and insert only the new rects.
+            self.delta_merges += 1
+            prev_set, prev_union = self._last
+            mvr = prev_union.clone()
+            for rect in rects:
+                if rect not in prev_set:
+                    mvr.insert_rect(rect)
+            mvr.freeze()
+        else:
+            mvr = SlabUnion.from_rects(rects).freeze()
         self._memo[key] = mvr
+        self._last = (rect_set, mvr)
         while len(self._memo) > self.maxsize:
             self._memo.popitem(last=False)
         return mvr
 
 
 def collect_candidates(
-    responses: Sequence[ShareResponse], mvr: RectUnion
+    responses: Sequence[ShareResponse], mvr: RegionUnion
 ) -> list[POI]:
     """The candidate set ``O``: received POIs that lie inside the MVR.
 
@@ -99,8 +149,8 @@ def nnv(
     query: Point,
     responses: Sequence[ShareResponse],
     k: int,
-    mvr: RectUnion | None = None,
-) -> tuple[ResultHeap, RectUnion]:
+    mvr: RegionUnion | None = None,
+) -> tuple[ResultHeap, RegionUnion]:
     """Algorithm 1 (NNV): build the heap ``H`` from peer data.
 
     Returns the heap and the MVR (callers reuse the MVR for the
@@ -153,8 +203,8 @@ def nnv_scalar(
     query: Point,
     responses: Sequence[ShareResponse],
     k: int,
-    mvr: RectUnion | None = None,
-) -> tuple[ResultHeap, RectUnion]:
+    mvr: RegionUnion | None = None,
+) -> tuple[ResultHeap, RegionUnion]:
     """Loop-based reference implementation of :func:`nnv`.
 
     Kept for the equivalence tests (and as readable documentation of

@@ -1,0 +1,99 @@
+"""Synthetic microbenchmarks for the hot cache paths.
+
+The end-to-end ``profile`` workload exercises the whole pipeline, so
+cache-layer regressions can hide behind broadcast-schedule noise.
+:func:`bench_cache_churn` isolates the churn loop the simulator drives
+hardest — :meth:`~repro.cache.POICache.insert_result` under constant
+capacity pressure — with a seeded synthetic stream: a host on a random
+walk keeps verifying small regions, each insert offers a handful of
+POIs, and the cache evicts (shrinking regions and repairing the slab
+mirror) on nearly every step once warm.
+
+Cache sizes follow the Table 3 regime (tens to a few hundred POIs per
+host); the stream is deterministic in ``seed`` so two interpreter
+builds — or the incremental and reference cache paths — profile the
+identical operation sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..cache import POICache
+from ..geometry import Point, Rect
+from ..model import POI
+
+#: Table-3-style cache capacities (POIs per host) exercised per run.
+CHURN_CAPACITIES: tuple[int, ...] = (50, 125, 250)
+
+#: Service-area side length (metres); matches the paper's 10 km square.
+CHURN_AREA_SIDE = 10_000.0
+
+
+def bench_cache_churn(
+    ops: int,
+    seed: int,
+    capacities: Sequence[int] = CHURN_CAPACITIES,
+    incremental: bool = True,
+) -> dict:
+    """Drive seeded insert/evict churn through fresh caches.
+
+    Runs ``ops`` :meth:`insert_result` calls against one cache per
+    capacity in ``capacities`` and returns a small report (offered /
+    retained POI counts, eviction totals, final generation) so callers
+    can sanity-check that the workload actually churned.  The caller —
+    ``repro.cli profile --kind churn`` — wraps this in cProfile; the
+    function itself does no timing.
+    """
+    rng = random.Random(seed)
+    side = CHURN_AREA_SIDE
+    report: dict = {"ops": ops, "per_capacity": []}
+    next_poi_id = 1
+    for capacity in capacities:
+        cache = POICache(capacity, incremental=incremental)
+        x = rng.uniform(0.2 * side, 0.8 * side)
+        y = rng.uniform(0.2 * side, 0.8 * side)
+        offered = 0
+        for op in range(ops):
+            # Random-walk the host; headings churn the policy scores.
+            x = min(max(x + rng.uniform(-150.0, 150.0), 0.0), side)
+            y = min(max(y + rng.uniform(-150.0, 150.0), 0.0), side)
+            heading = (rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))
+            half_w = rng.uniform(150.0, 450.0)
+            half_h = rng.uniform(150.0, 450.0)
+            region = Rect(
+                max(0.0, x - half_w),
+                max(0.0, y - half_h),
+                min(side, x + half_w),
+                min(side, y + half_h),
+            )
+            count = rng.randint(3, 8)
+            pois = []
+            for _ in range(count):
+                pois.append(
+                    POI(
+                        next_poi_id,
+                        Point(
+                            rng.uniform(region.x1, region.x2),
+                            rng.uniform(region.y1, region.y2),
+                        ),
+                    )
+                )
+                next_poi_id += 1
+            offered += count
+            cache.insert_result(region, pois, float(op), Point(x, y), heading)
+            # Exercise the generation-keyed memos the way peers do.
+            if op % 16 == 0:
+                cache.share()
+        report["per_capacity"].append(
+            {
+                "capacity": capacity,
+                "pois_offered": offered,
+                "pois_retained": len(cache),
+                "evictions": offered - len(cache),
+                "regions": len(cache.regions),
+                "final_generation": cache.generation,
+            }
+        )
+    return report

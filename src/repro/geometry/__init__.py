@@ -27,6 +27,7 @@ from .region import (
     merge_intervals,
 )
 from .segment import Segment
+from .slabunion import SlabUnion
 
 __all__ = [
     "Circle",
@@ -36,6 +37,7 @@ __all__ = [
     "Rect",
     "RectUnion",
     "Segment",
+    "SlabUnion",
     "centroid",
     "circle_rect_intersection_area",
     "hilbert_d_to_xy",

@@ -9,7 +9,6 @@ all :class:`Rect` instances.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..errors import GeometryError
@@ -17,20 +16,48 @@ from .point import Point
 from .segment import Segment
 
 
-@dataclass(frozen=True, slots=True)
 class Rect:
-    """A closed axis-aligned rectangle with ``x1 <= x2`` and ``y1 <= y2``."""
+    """A closed axis-aligned rectangle with ``x1 <= x2`` and ``y1 <= y2``.
 
-    x1: float
-    y1: float
-    x2: float
-    y2: float
+    A hand-written slots class, immutable by convention: rectangles
+    are the currency of the entire system (tens of thousands are
+    constructed per simulated workload — region shrinks, windows,
+    index boxes), and the frozen-dataclass ``__init__`` paid four
+    ``object.__setattr__`` calls plus a ``__post_init__`` dispatch per
+    instance.  Equality, hashing, and repr keep the old dataclass
+    contract over ``(x1, y1, x2, y2)``.
+    """
 
-    def __post_init__(self) -> None:
-        if not (self.x1 <= self.x2 and self.y1 <= self.y2):
+    __slots__ = ("x1", "y1", "x2", "y2")
+
+    def __init__(self, x1: float, y1: float, x2: float, y2: float) -> None:
+        if not (x1 <= x2 and y1 <= y2):
             raise GeometryError(
-                f"malformed rectangle: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+                f"malformed rectangle: ({x1}, {y1}, {x2}, {y2})"
             )
+        self.x1 = x1
+        self.y1 = y1
+        self.x2 = x2
+        self.y2 = y2
+
+    def __repr__(self) -> str:
+        return (
+            f"Rect(x1={self.x1!r}, y1={self.y1!r},"
+            f" x2={self.x2!r}, y2={self.y2!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Rect:
+            return (
+                self.x1 == other.x1
+                and self.y1 == other.y1
+                and self.x2 == other.x2
+                and self.y2 == other.y2
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.x1, self.y1, self.x2, self.y2))
 
     # ------------------------------------------------------------------
     # Constructors

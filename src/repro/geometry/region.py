@@ -12,6 +12,13 @@ that union exactly with a slab decomposition:
   verified region"), window coverage, and window subtraction all follow
   from the slab structure with no floating-point construction error
   beyond the input coordinates themselves.
+
+The slab structure itself — a sorted boundary list ``xs`` plus one
+merged interval tuple per slab — is shared with the *incremental*
+:class:`~repro.geometry.slabunion.SlabUnion`: every read-side
+operation lives here as a module-level function over ``(xs, slabs)``,
+so the eager union (rebuilt per construction) and the persistent union
+(mutated in place) are pinned to one set of kernels and cannot drift.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from .rect import Rect
 from .segment import Segment
 
 Interval = tuple[float, float]
+SlabList = Sequence[Sequence[Interval]]
 
 
 # ----------------------------------------------------------------------
@@ -103,6 +111,310 @@ def intervals_total_length(intervals: Sequence[Interval]) -> float:
 
 
 # ----------------------------------------------------------------------
+# Slab-structure kernels, shared by RectUnion and SlabUnion
+# ----------------------------------------------------------------------
+# A slab structure is a pair ``(xs, slabs)``: ``xs`` is the sorted list
+# of x cuts and ``slabs[i]`` holds the merged y intervals covering the
+# slab ``xs[i]..xs[i+1]`` as an immutable tuple (immutability is what
+# lets SlabUnion clones share unchanged slabs).  The canonical
+# structure for a rectangle set — cuts at exactly the member edges,
+# intervals in merged canonical form — is *unique*, so an incremental
+# build and an eager rebuild of the same set agree bit-for-bit.
+
+
+def build_slabs(
+    rects: Sequence[Rect],
+) -> tuple[list[float], list[tuple[Interval, ...]]]:
+    """Bulk-build the canonical slab structure of a rectangle set.
+
+    Degenerate rectangles must already be dropped by the caller.
+    """
+    xs = sorted({x for r in rects for x in (r.x1, r.x2)})
+    slabs: list[tuple[Interval, ...]] = []
+    if len(rects) * (len(xs) - 1) >= 256:
+        # Large union (the merged-MVR case): one broadcast
+        # containment test replaces the per-slab Python filter
+        # over all rects; ``nonzero`` preserves rect order, so
+        # each slab sees the same intervals as before.
+        rx1 = np.array([r.x1 for r in rects])
+        rx2 = np.array([r.x2 for r in rects])
+        y_pairs = [(r.y1, r.y2) for r in rects]
+        xa = np.array(xs[:-1])
+        xb = np.array(xs[1:])
+        cover = (rx1 <= xa[:, None]) & (rx2 >= xb[:, None])
+        for row in cover:
+            covering = [y_pairs[j] for j in np.nonzero(row)[0].tolist()]
+            slabs.append(tuple(merge_intervals(covering)))
+    else:
+        for xa, xb in zip(xs, xs[1:]):
+            covering = [
+                (r.y1, r.y2) for r in rects if r.x1 <= xa and r.x2 >= xb
+            ]
+            slabs.append(tuple(merge_intervals(covering)))
+    return xs, slabs
+
+
+def slabs_area(xs: Sequence[float], slabs: SlabList) -> float:
+    """Exact union area: per-slab width times merged interval length."""
+    return sum(
+        (xb - xa) * intervals_total_length(iv)
+        for (xa, xb), iv in zip(zip(xs, xs[1:]), slabs)
+    )
+
+
+def iter_slabs(xs: Sequence[float], slabs: SlabList):
+    return zip(zip(xs, xs[1:]), slabs)
+
+
+def slabs_contains_point(
+    xs: Sequence[float], slabs: SlabList, px: float, py: float
+) -> bool:
+    """Closed containment (points on the boundary are inside)."""
+    if not xs or px < xs[0] or px > xs[-1]:
+        return False
+    idx = bisect_right(xs, px) - 1
+    candidates = []
+    if 0 <= idx < len(slabs):
+        candidates.append(idx)
+    if px == xs[idx] and idx - 1 >= 0:
+        candidates.append(idx - 1)
+    for i in candidates:
+        for y1, y2 in slabs[i]:
+            if y1 <= py <= y2:
+                return True
+    return False
+
+
+def rects_contain_points(
+    coord_arrays: tuple[np.ndarray, ...], pxs: np.ndarray, pys: np.ndarray
+) -> np.ndarray:
+    """Broadcast closed containment of points in a set of rectangles.
+
+    Works for any rectangle decomposition whose closed union equals the
+    region (member rectangles or disjoint slab pieces) — exact
+    agreement with the scalar slab predicate on every point,
+    boundaries included.
+    """
+    rx1, ry1, rx2, ry2 = coord_arrays
+    if rx1.size * pxs.size <= 200_000:
+        return (
+            (pxs >= rx1[:, None])
+            & (pxs <= rx2[:, None])
+            & (pys >= ry1[:, None])
+            & (pys <= ry2[:, None])
+        ).any(axis=0)
+    out = np.zeros(pxs.shape, dtype=bool)
+    for x1, y1, x2, y2 in zip(rx1, ry1, rx2, ry2):
+        out |= (pxs >= x1) & (pxs <= x2) & (pys >= y1) & (pys <= y2)
+    return out
+
+
+def slabs_covers_rect(
+    xs: Sequence[float], slabs: SlabList, window: Rect
+) -> bool:
+    """True when the window lies entirely inside the union.
+
+    Degenerate windows (segments, points) are checked against the
+    slab structure too — endpoint/midpoint sampling is unsound when
+    the union has two or more holes along the segment.
+    """
+    if window.is_degenerate():
+        return slabs_covers_degenerate(xs, slabs, window)
+    if not xs or window.x1 < xs[0] or window.x2 > xs[-1]:
+        return False
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        if xb <= window.x1 or xa >= window.x2:
+            continue
+        if not intervals_cover(intervals, window.y1, window.y2):
+            return False
+    return True
+
+
+def slabs_covers_degenerate(
+    xs: Sequence[float], slabs: SlabList, window: Rect
+) -> bool:
+    """Closed coverage of a zero-area window (point or segment)."""
+    if not xs:
+        return False
+    if window.x1 == window.x2 and window.y1 == window.y2:
+        return slabs_contains_point(xs, slabs, window.x1, window.y1)
+    if window.x1 == window.x2:
+        # Vertical segment on x = c: both slabs touching c (two
+        # when c is a slab boundary) contribute closed coverage.
+        x = window.x1
+        if x < xs[0] or x > xs[-1]:
+            return False
+        spans: list[Interval] = []
+        for (xa, xb), intervals in iter_slabs(xs, slabs):
+            if xa <= x <= xb:
+                spans.extend(intervals)
+        return intervals_cover(merge_intervals(spans), window.y1, window.y2)
+    # Horizontal segment on y = c: every slab sharing positive
+    # length with it must have an interval containing c (slab
+    # rects are closed, so that covers the closed slab piece too).
+    y = window.y1
+    if window.x1 < xs[0] or window.x2 > xs[-1]:
+        return False
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        if xb <= window.x1 or xa >= window.x2:
+            continue
+        if not any(y1 <= y <= y2 for y1, y2 in intervals):
+            return False
+    return True
+
+
+def slabs_intersects_rect(
+    xs: Sequence[float], slabs: SlabList, window: Rect
+) -> bool:
+    """True when the window and the union share positive area."""
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        if xb <= window.x1 or xa >= window.x2:
+            continue
+        for y1, y2 in intervals:
+            if y1 < window.y2 and window.y1 < y2:
+                return True
+    return False
+
+
+def slabs_disjoint_rects(xs: Sequence[float], slabs: SlabList) -> list[Rect]:
+    """The union as a list of disjoint rectangles (slab pieces)."""
+    pieces: list[Rect] = []
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        for y1, y2 in intervals:
+            pieces.append(Rect(xa, y1, xb, y2))
+    return pieces
+
+
+def slabs_subtract_from_rect(
+    xs: Sequence[float], slabs: SlabList, window: Rect
+) -> list[Rect]:
+    """The uncovered remainder ``window - union`` as disjoint rectangles.
+
+    This is the reduced query window ``w'`` of Section 3.4.2 (SBWQ
+    broadcast-channel data filtering).
+    """
+    if window.is_degenerate():
+        covered = slabs_covers_rect(xs, slabs, window)
+        return [] if covered else [window]
+    remainder: list[Rect] = []
+    if not xs:
+        return [window]
+    left_edge = min(max(xs[0], window.x1), window.x2)
+    right_edge = max(min(xs[-1], window.x2), window.x1)
+    if window.x1 < left_edge:
+        remainder.append(Rect(window.x1, window.y1, left_edge, window.y2))
+    if right_edge < window.x2 and right_edge >= left_edge:
+        remainder.append(Rect(right_edge, window.y1, window.x2, window.y2))
+    if left_edge >= right_edge:
+        return [r for r in remainder if not r.is_degenerate()]
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        lo_x = max(xa, window.x1)
+        hi_x = min(xb, window.x2)
+        if lo_x >= hi_x:
+            continue
+        for g1, g2 in intervals_complement_within(
+            intervals, window.y1, window.y2
+        ):
+            remainder.append(Rect(lo_x, g1, hi_x, g2))
+    return [r for r in remainder if not r.is_degenerate()]
+
+
+def slabs_boundary_coord_arrays(
+    xs: Sequence[float], slabs: SlabList
+) -> tuple[np.ndarray, ...]:
+    """Boundary segments as flat coordinate arrays ``(ax, ay, dx, dy, len_sq)``.
+
+    Built without materialising :class:`Segment` objects — this is the
+    hot path behind every ``distance_to_boundary`` call.  Horizontal
+    edges come directly from the slab intervals; vertical edges are the
+    parts of each slab border covered on exactly one side (symmetric
+    difference of the adjacent slabs' intervals, skipped outright when
+    the two interval tuples are equal).  Same segment multiset, in the
+    same order, as :func:`slabs_boundary_segments`.
+    """
+    ax: list[float] = []
+    ay: list[float] = []
+    bx: list[float] = []
+    by: list[float] = []
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        for y1, y2 in intervals:
+            ax.append(xa)
+            ay.append(y1)
+            bx.append(xb)
+            by.append(y1)
+            ax.append(xa)
+            ay.append(y2)
+            bx.append(xb)
+            by.append(y2)
+    n_slabs = len(slabs)
+    for i, x in enumerate(xs):
+        left = slabs[i - 1] if i > 0 else ()
+        right = slabs[i] if i < n_slabs else ()
+        if left == right:
+            continue
+        exposed = intervals_difference(left, right) + intervals_difference(
+            right, left
+        )
+        for y1, y2 in exposed:
+            ax.append(x)
+            ay.append(y1)
+            bx.append(x)
+            by.append(y2)
+    axa = np.array(ax)
+    aya = np.array(ay)
+    dx = np.array(bx) - axa
+    dy = np.array(by) - aya
+    len_sq = dx * dx + dy * dy
+    # Segment lengths are positive by construction, but a
+    # subnormal slab width can square-underflow to 0.0; the
+    # guard keeps the projection finite (any t in [0, 1] is
+    # correct for a segment that short).
+    return axa, aya, dx, dy, np.where(len_sq > 0.0, len_sq, 1.0)
+
+
+def slabs_boundary_segments(
+    xs: Sequence[float], slabs: SlabList
+) -> list[Segment]:
+    """All boundary segments, *including* the edges of interior holes.
+
+    Collinear fragments are not merged — irrelevant for distance
+    queries.  Cold path (reporting, tests): the distance kernels use
+    :func:`slabs_boundary_coord_arrays` directly.
+    """
+    segments: list[Segment] = []
+    for (xa, xb), intervals in iter_slabs(xs, slabs):
+        for y1, y2 in intervals:
+            segments.append(Segment(Point(xa, y1), Point(xb, y1)))
+            segments.append(Segment(Point(xa, y2), Point(xb, y2)))
+    n_slabs = len(slabs)
+    for i, x in enumerate(xs):
+        left = slabs[i - 1] if i > 0 else ()
+        right = slabs[i] if i < n_slabs else ()
+        if left == right:
+            continue
+        exposed = intervals_difference(left, right) + intervals_difference(
+            right, left
+        )
+        for y1, y2 in exposed:
+            segments.append(Segment(Point(x, y1), Point(x, y2)))
+    return segments
+
+
+def boundary_min_distance(
+    arrays: tuple[np.ndarray, ...], px: float, py: float
+) -> float:
+    """Min distance from a point to the boundary coordinate arrays.
+
+    Clamped projection onto every boundary segment at once; the
+    segments all have positive length (slab intervals and exposed
+    vertical gaps are non-degenerate by construction).
+    """
+    ax, ay, dx, dy, len_sq = arrays
+    t = np.clip(((px - ax) * dx + (py - ay) * dy) / len_sq, 0.0, 1.0)
+    return float(np.min(np.hypot(px - (ax + t * dx), py - (ay + t * dy))))
+
+
+# ----------------------------------------------------------------------
 # Rectangle union
 # ----------------------------------------------------------------------
 class RectUnion:
@@ -127,36 +439,10 @@ class RectUnion:
         self._rects: tuple[Rect, ...] = tuple(
             [r for r in rects if r.x2 != r.x1 and r.y2 != r.y1]
         )
-        xs = sorted({x for r in self._rects for x in (r.x1, r.x2)})
+        xs, slabs = build_slabs(self._rects)
         self._xs: list[float] = xs
-        slabs: list[list[Interval]] = []
-        if len(self._rects) * (len(xs) - 1) >= 256:
-            # Large union (the merged-MVR case): one broadcast
-            # containment test replaces the per-slab Python filter
-            # over all rects; ``nonzero`` preserves rect order, so
-            # each slab sees the same intervals as before.
-            rx1 = np.array([r.x1 for r in self._rects])
-            rx2 = np.array([r.x2 for r in self._rects])
-            y_pairs = [(r.y1, r.y2) for r in self._rects]
-            xa = np.array(xs[:-1])
-            xb = np.array(xs[1:])
-            cover = (rx1 <= xa[:, None]) & (rx2 >= xb[:, None])
-            for row in cover:
-                covering = [y_pairs[j] for j in np.nonzero(row)[0].tolist()]
-                slabs.append(merge_intervals(covering))
-        else:
-            for xa, xb in zip(xs, xs[1:]):
-                covering = [
-                    (r.y1, r.y2)
-                    for r in self._rects
-                    if r.x1 <= xa and r.x2 >= xb
-                ]
-                slabs.append(merge_intervals(covering))
-        self._slab_intervals: list[list[Interval]] = slabs
-        self._area = sum(
-            (xb - xa) * intervals_total_length(iv)
-            for (xa, xb), iv in zip(zip(xs, xs[1:]), slabs)
-        )
+        self._slab_intervals: list[tuple[Interval, ...]] = slabs
+        self._area = slabs_area(xs, slabs)
         self._boundary: list[Segment] | None = None
         self._boundary_arrays: tuple[np.ndarray, ...] | None = None
         self._rect_arrays: tuple[np.ndarray, ...] | None = None
@@ -197,20 +483,7 @@ class RectUnion:
 
     def contains_point(self, p: Point) -> bool:
         """Closed containment (points on the boundary are inside)."""
-        xs = self._xs
-        if not xs or p.x < xs[0] or p.x > xs[-1]:
-            return False
-        idx = bisect_right(xs, p.x) - 1
-        candidates = []
-        if 0 <= idx < len(self._slab_intervals):
-            candidates.append(idx)
-        if p.x == xs[idx] and idx - 1 >= 0:
-            candidates.append(idx - 1)
-        for i in candidates:
-            for y1, y2 in self._slab_intervals[i]:
-                if y1 <= p.y <= y2:
-                    return True
-        return False
+        return slabs_contains_point(self._xs, self._slab_intervals, p.x, p.y)
 
     def _rect_coord_arrays(self) -> tuple[np.ndarray, ...]:
         if self._rect_arrays is None:
@@ -235,94 +508,22 @@ class RectUnion:
         pys = np.asarray(pys, dtype=np.float64)
         if not self._rects:
             return np.zeros(pxs.shape, dtype=bool)
-        rx1, ry1, rx2, ry2 = self._rect_coord_arrays()
-        if rx1.size * pxs.size <= 200_000:
-            return (
-                (pxs >= rx1[:, None])
-                & (pxs <= rx2[:, None])
-                & (pys >= ry1[:, None])
-                & (pys <= ry2[:, None])
-            ).any(axis=0)
-        out = np.zeros(pxs.shape, dtype=bool)
-        for x1, y1, x2, y2 in zip(rx1, ry1, rx2, ry2):
-            out |= (pxs >= x1) & (pxs <= x2) & (pys >= y1) & (pys <= y2)
-        return out
+        return rects_contain_points(self._rect_coord_arrays(), pxs, pys)
 
     def covers_rect(self, window: Rect) -> bool:
-        """True when the window lies entirely inside the union.
-
-        Degenerate windows (segments, points) are checked against the
-        slab structure too — endpoint/midpoint sampling is unsound when
-        the union has two or more holes along the segment.
-        """
-        if window.is_degenerate():
-            return self._covers_degenerate(window)
-        xs = self._xs
-        if not xs or window.x1 < xs[0] or window.x2 > xs[-1]:
-            return False
-        for (xa, xb), intervals in self._iter_slabs():
-            if xb <= window.x1 or xa >= window.x2:
-                continue
-            if not intervals_cover(intervals, window.y1, window.y2):
-                return False
-        return True
-
-    def _covers_degenerate(self, window: Rect) -> bool:
-        """Closed coverage of a zero-area window (point or segment)."""
-        xs = self._xs
-        if not xs:
-            return False
-        if window.x1 == window.x2 and window.y1 == window.y2:
-            return self.contains_point(Point(window.x1, window.y1))
-        if window.x1 == window.x2:
-            # Vertical segment on x = c: both slabs touching c (two
-            # when c is a slab boundary) contribute closed coverage.
-            x = window.x1
-            if x < xs[0] or x > xs[-1]:
-                return False
-            spans: list[Interval] = []
-            for (xa, xb), intervals in self._iter_slabs():
-                if xa <= x <= xb:
-                    spans.extend(intervals)
-            return intervals_cover(
-                merge_intervals(spans), window.y1, window.y2
-            )
-        # Horizontal segment on y = c: every slab sharing positive
-        # length with it must have an interval containing c (slab
-        # rects are closed, so that covers the closed slab piece too).
-        y = window.y1
-        if window.x1 < xs[0] or window.x2 > xs[-1]:
-            return False
-        for (xa, xb), intervals in self._iter_slabs():
-            if xb <= window.x1 or xa >= window.x2:
-                continue
-            if not any(y1 <= y <= y2 for y1, y2 in intervals):
-                return False
-        return True
+        """True when the window lies entirely inside the union."""
+        return slabs_covers_rect(self._xs, self._slab_intervals, window)
 
     def intersects_rect(self, window: Rect) -> bool:
         """True when the window and the union share positive area."""
-        for (xa, xb), intervals in self._iter_slabs():
-            if xb <= window.x1 or xa >= window.x2:
-                continue
-            for y1, y2 in intervals:
-                if y1 < window.y2 and window.y1 < y2:
-                    return True
-        return False
+        return slabs_intersects_rect(self._xs, self._slab_intervals, window)
 
     # ------------------------------------------------------------------
     # Decompositions
     # ------------------------------------------------------------------
-    def _iter_slabs(self):
-        return zip(zip(self._xs, self._xs[1:]), self._slab_intervals)
-
     def disjoint_rects(self) -> list[Rect]:
         """The union as a list of disjoint rectangles (slab pieces)."""
-        pieces: list[Rect] = []
-        for (xa, xb), intervals in self._iter_slabs():
-            for y1, y2 in intervals:
-                pieces.append(Rect(xa, y1, xb, y2))
-        return pieces
+        return slabs_disjoint_rects(self._xs, self._slab_intervals)
 
     def subtract_from_rect(self, window: Rect) -> list[Rect]:
         """The uncovered remainder ``window - union`` as disjoint rectangles.
@@ -330,30 +531,7 @@ class RectUnion:
         This is the reduced query window ``w'`` of Section 3.4.2 (SBWQ
         broadcast-channel data filtering).
         """
-        if window.is_degenerate():
-            return [] if self.covers_rect(window) else [window]
-        xs = self._xs
-        remainder: list[Rect] = []
-        if not xs:
-            return [window]
-        left_edge = min(max(xs[0], window.x1), window.x2)
-        right_edge = max(min(xs[-1], window.x2), window.x1)
-        if window.x1 < left_edge:
-            remainder.append(Rect(window.x1, window.y1, left_edge, window.y2))
-        if right_edge < window.x2 and right_edge >= left_edge:
-            remainder.append(Rect(right_edge, window.y1, window.x2, window.y2))
-        if left_edge >= right_edge:
-            return [r for r in remainder if not r.is_degenerate()]
-        for (xa, xb), intervals in self._iter_slabs():
-            lo_x = max(xa, window.x1)
-            hi_x = min(xb, window.x2)
-            if lo_x >= hi_x:
-                continue
-            for g1, g2 in intervals_complement_within(
-                intervals, window.y1, window.y2
-            ):
-                remainder.append(Rect(lo_x, g1, hi_x, g2))
-        return [r for r in remainder if not r.is_degenerate()]
+        return slabs_subtract_from_rect(self._xs, self._slab_intervals, window)
 
     # ------------------------------------------------------------------
     # Boundary
@@ -361,46 +539,19 @@ class RectUnion:
     def boundary_segments(self) -> list[Segment]:
         """All boundary segments, *including* the edges of interior holes.
 
-        Horizontal edges come directly from the slab intervals; vertical
-        edges are the parts of each slab border covered on exactly one
-        side (symmetric difference of the adjacent slabs' intervals).
-        Collinear fragments are not merged — irrelevant for distance
-        queries.  The result is computed once and cached (the region is
+        The result is computed once and cached (the region is
         immutable).
         """
-        if self._boundary is not None:
-            return self._boundary
-        segments: list[Segment] = []
-        for (xa, xb), intervals in self._iter_slabs():
-            for y1, y2 in intervals:
-                segments.append(Segment(Point(xa, y1), Point(xb, y1)))
-                segments.append(Segment(Point(xa, y2), Point(xb, y2)))
-        n_slabs = len(self._slab_intervals)
-        for i, x in enumerate(self._xs):
-            left = self._slab_intervals[i - 1] if i > 0 else []
-            right = self._slab_intervals[i] if i < n_slabs else []
-            exposed = intervals_difference(left, right) + intervals_difference(
-                right, left
+        if self._boundary is None:
+            self._boundary = slabs_boundary_segments(
+                self._xs, self._slab_intervals
             )
-            for y1, y2 in exposed:
-                segments.append(Segment(Point(x, y1), Point(x, y2)))
-        self._boundary = segments
-        return segments
+        return self._boundary
 
     def _boundary_coord_arrays(self) -> tuple[np.ndarray, ...]:
         if self._boundary_arrays is None:
-            segs = self.boundary_segments()
-            ax = np.array([s.a.x for s in segs])
-            ay = np.array([s.a.y for s in segs])
-            dx = np.array([s.b.x for s in segs]) - ax
-            dy = np.array([s.b.y for s in segs]) - ay
-            len_sq = dx * dx + dy * dy
-            # Segment lengths are positive by construction, but a
-            # subnormal slab width can square-underflow to 0.0; the
-            # guard keeps the projection finite (any t in [0, 1] is
-            # correct for a segment that short).
-            self._boundary_arrays = (
-                ax, ay, dx, dy, np.where(len_sq > 0.0, len_sq, 1.0)
+            self._boundary_arrays = slabs_boundary_coord_arrays(
+                self._xs, self._slab_intervals
             )
         return self._boundary_arrays
 
@@ -409,18 +560,11 @@ class RectUnion:
 
         For a query point inside the region this is the radius of the
         largest disc around ``p`` contained in the region — exactly the
-        verification bound of Lemma 3.1.  Computed as a clamped
-        projection onto every boundary segment at once; the segments
-        all have positive length (slab intervals and exposed vertical
-        gaps are non-degenerate by construction).
+        verification bound of Lemma 3.1.
         """
         if self.is_empty:
             raise GeometryError("distance to the boundary of an empty region")
-        ax, ay, dx, dy, len_sq = self._boundary_coord_arrays()
-        t = np.clip(((p.x - ax) * dx + (p.y - ay) * dy) / len_sq, 0.0, 1.0)
-        return float(
-            np.min(np.hypot(p.x - (ax + t * dx), p.y - (ay + t * dy)))
-        )
+        return boundary_min_distance(self._boundary_coord_arrays(), p.x, p.y)
 
     def boundary_length(self) -> float:
         """Total length of the boundary (holes included)."""

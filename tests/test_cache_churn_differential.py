@@ -1,0 +1,131 @@
+"""Incremental cache paths vs the sequential reference, under churn.
+
+``POICache(incremental=True)`` runs the fused insert (single-pass
+coalesce + binary insert), batch eviction, and the live slab-mirror
+maintenance; ``incremental=False`` pins the sequential reference
+(append + full coalesce per insert, rank-and-evict one victim at a
+time, lazy mirror only).  The two must agree *bit for bit* on every
+observable payload at every step of a seeded churn stream — the same
+worlds two peers would exchange over the air.
+
+The content generation is deliberately excluded: the incremental path
+skips the bump when a verified region lands inside an incumbent
+(nothing observable moved), so generation *values* diverge while the
+memo contract — stamp moves whenever content moves — holds on both.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import POICache
+from repro.experiments.bench import bench_cache_churn
+from repro.geometry import Point, Rect
+from repro.model import POI
+
+
+def _churn_stream(seed, ops, side=1000.0):
+    """Deterministic (region, pois, now, position, heading) stream.
+
+    Mimics the simulator's churn shape: a drifting host verifying
+    small rectangles, a few fresh POIs per insert, and occasional
+    exact re-offers of an earlier result (upsert hits plus the
+    covered-by-incumbent fast path on both cache variants).
+    """
+    rng = random.Random(seed)
+    x = rng.uniform(0.3 * side, 0.7 * side)
+    y = rng.uniform(0.3 * side, 0.7 * side)
+    next_id = 1
+    history = []
+    for op in range(ops):
+        x = min(max(x + rng.uniform(-60.0, 60.0), 0.0), side)
+        y = min(max(y + rng.uniform(-60.0, 60.0), 0.0), side)
+        heading = (rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))
+        position = Point(x, y)
+        if history and rng.random() < 0.2:
+            region, pois = rng.choice(history)
+        else:
+            half_w = rng.uniform(30.0, 140.0)
+            half_h = rng.uniform(30.0, 140.0)
+            region = Rect(
+                max(0.0, x - half_w),
+                max(0.0, y - half_h),
+                min(side, x + half_w),
+                min(side, y + half_h),
+            )
+            pois = [
+                POI(
+                    next_id + i,
+                    Point(
+                        rng.uniform(region.x1, region.x2),
+                        rng.uniform(region.y1, region.y2),
+                    ),
+                )
+                for i in range(rng.randint(2, 7))
+            ]
+            next_id += len(pois)
+            history.append((region, pois))
+        yield region, pois, float(op), position, heading
+
+
+def _observable(cache):
+    """Everything a peer (or a recorded metric) can see of the cache."""
+    regions, pois = cache.share()
+    return (
+        [r.as_tuple() for r in regions],
+        [(p.poi_id, p.x, p.y) for p in pois],
+        list(cache._items),
+        [(vr.rect.as_tuple(), vr.created_at) for vr in cache._regions],
+        cache._regions_coalesced,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7])
+def test_incremental_matches_reference_bit_for_bit(seed):
+    fast = POICache(capacity=25, max_regions=4, incremental=True)
+    ref = POICache(capacity=25, max_regions=4, incremental=False)
+    # Materialise the mirror up front so insert_rect / point-cut
+    # repair (not just the lazy rebuild) run through the whole stream.
+    fast.region_union
+    steps = 0
+    for region, pois, now, position, heading in _churn_stream(seed, 220):
+        fast.insert_result(region, pois, now, position, heading)
+        ref.insert_result(region, list(pois), now, position, heading)
+        assert _observable(fast) == _observable(ref)
+        steps += 1
+    assert steps == 220
+    assert len(fast) == fast.capacity  # the stream actually churned
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_mirror_stays_sound_superset_during_churn(seed):
+    cache = POICache(capacity=20, max_regions=4, incremental=True)
+    cache.region_union
+    rng = random.Random(seed + 1000)
+    for region, pois, now, position, heading in _churn_stream(seed, 150):
+        cache.insert_result(region, pois, now, position, heading)
+        mirror = cache.region_union
+        for rect in cache.region_rects:
+            assert mirror.covers_rect(rect)
+        # Any point inside a live region must be mirror-contained.
+        for rect in cache.region_rects[:2]:
+            p = Point(
+                rng.uniform(rect.x1, rect.x2), rng.uniform(rect.y1, rect.y2)
+            )
+            assert mirror.contains_point(p)
+
+
+def test_bench_churn_reports_match_across_modes():
+    fast = bench_cache_churn(300, seed=5, capacities=(30, 60))
+    ref = bench_cache_churn(300, seed=5, capacities=(30, 60), incremental=False)
+    assert fast["ops"] == ref["ops"] == 300
+    for got, want in zip(fast["per_capacity"], ref["per_capacity"]):
+        for key in (
+            "capacity",
+            "pois_offered",
+            "pois_retained",
+            "evictions",
+            "regions",
+        ):
+            assert got[key] == want[key], key
+        assert got["evictions"] > 0  # capacity pressure was real

@@ -1,0 +1,274 @@
+"""SlabUnion vs eager RectUnion: the incremental/eager differential.
+
+The persistent :class:`~repro.geometry.SlabUnion` must be
+*bit-identical* to the eager :class:`~repro.geometry.RectUnion` for
+insert-only histories (canonical-form contract: same x cuts, same
+merged interval tuples, hence the same floats out of every derived
+computation), and *set-equivalent* once subtraction enters the
+history (the eager structure has no subtract, so the reference is a
+disjoint-piece replay).  Plus the mutation-specific contracts the
+eager union cannot express: clone isolation (copy-on-write) and the
+freeze guard.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect, RectUnion, SlabUnion
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.floats(-50, 50),
+    st.floats(-50, 50),
+    st.floats(0, 30),  # zero-width degenerates included on purpose
+    st.floats(0, 30),
+)
+
+# Integer-corner rectangles overlap and touch constantly — the
+# sharpest case for shared cuts and interval merging.
+lattice_rect = st.tuples(
+    st.integers(0, 10), st.integers(0, 10), st.integers(1, 6), st.integers(1, 6)
+).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+rect_lists = st.lists(rect_strategy | lattice_rect, max_size=10)
+
+coord = st.floats(-60, 60)
+
+
+def incremental(rects):
+    union = SlabUnion()
+    for rect in rects:
+        union.insert_rect(rect)
+    return union
+
+
+class TestInsertOnlyBitIdentity:
+    @given(rect_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_structure_matches_eager(self, rects):
+        eager = RectUnion(rects)
+        inc = incremental(rects)
+        bulk = SlabUnion.from_rects(rects)
+        for union in (inc, bulk):
+            assert union._xs == eager._xs
+            assert union._slabs == eager._slab_intervals
+            assert union.area == eager.area
+            assert union.rects == eager.rects
+            assert union.disjoint_rects() == eager.disjoint_rects()
+            assert union.is_empty == eager.is_empty
+
+    @given(rect_lists, st.lists(st.tuples(coord, coord), max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_containment_matches_eager(self, rects, points):
+        eager = RectUnion(rects)
+        union = incremental(rects)
+        # Corner points sit exactly on boundaries — the sharpest case.
+        points = points + [(r.x1, r.y1) for r in rects]
+        points += [(r.x2, r.y2) for r in rects]
+        for x, y in points:
+            assert union.contains_point(Point(x, y)) == eager.contains_point(
+                Point(x, y)
+            )
+        if points:
+            xs = np.array([p[0] for p in points])
+            ys = np.array([p[1] for p in points])
+            assert np.array_equal(
+                union.contains_points(xs, ys), eager.contains_points(xs, ys)
+            )
+
+    @given(rect_lists, lattice_rect, coord, coord)
+    @settings(max_examples=100, deadline=None)
+    def test_windows_and_boundary_match_eager(self, rects, window, x, y):
+        eager = RectUnion(rects)
+        union = incremental(rects)
+        assert union.covers_rect(window) == eager.covers_rect(window)
+        assert union.intersects_rect(window) == eager.intersects_rect(window)
+        assert union.subtract_from_rect(window) == eager.subtract_from_rect(
+            window
+        )
+        if not eager.is_empty:
+            p = Point(x, y)
+            assert union.distance_to_boundary(p) == eager.distance_to_boundary(
+                p
+            )
+            assert union.boundary_length() == eager.boundary_length()
+            assert union.mbr() == eager.mbr()
+            segs = union.boundary_segments()
+            assert [(s.a, s.b) for s in segs] == [
+                (s.a, s.b) for s in eager.boundary_segments()
+            ]
+
+
+# An op sequence: insert or subtract a rectangle, or cut a point.
+op_strategy = st.one_of(
+    st.tuples(st.just("+"), lattice_rect),
+    st.tuples(st.just("-"), lattice_rect),
+    st.tuples(
+        st.just("cut"),
+        st.tuples(st.integers(0, 12), st.integers(0, 12)).map(
+            lambda t: Point(float(t[0]) + 0.5, float(t[1]) + 0.5)
+        ),
+    ),
+)
+
+
+def replay_eager(ops):
+    """Reference replay on disjoint pieces via the eager union only."""
+    pieces: list[Rect] = []
+    for op, arg in ops:
+        if op == "+":
+            pieces = RectUnion(pieces + [arg]).disjoint_rects()
+        else:
+            if op == "cut":
+                m = 1e-9
+                arg = Rect(arg.x - m, arg.y - m, arg.x + m, arg.y + m)
+            cutter = RectUnion([arg])
+            pieces = [
+                kept
+                for piece in pieces
+                for kept in cutter.subtract_from_rect(piece)
+            ]
+    return RectUnion(pieces)
+
+
+class TestMutationSequences:
+    @given(st.lists(op_strategy, min_size=1, max_size=14))
+    @settings(max_examples=120, deadline=None)
+    def test_set_equivalent_to_piece_replay(self, ops):
+        union = SlabUnion()
+        for op, arg in ops:
+            if op == "+":
+                union.insert_rect(arg)
+            elif op == "-":
+                union.subtract_rect(arg)
+            else:
+                union.subtract_point_cut(arg)
+        reference = replay_eager(ops)
+        assert math.isclose(
+            union.area, reference.area, rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert union.is_empty == reference.is_empty
+        # Predicates agree everywhere, boundaries included: both
+        # structures cut at the same closed lines.
+        for x in range(-1, 14):
+            for y in range(-1, 14):
+                p = Point(float(x), float(y))
+                assert union.contains_point(p) == reference.contains_point(p)
+        xs = np.linspace(-1.0, 13.0, 30)
+        grid_x, grid_y = np.meshgrid(xs, xs)
+        assert np.array_equal(
+            union.contains_points(grid_x.ravel(), grid_y.ravel()),
+            reference.contains_points(grid_x.ravel(), grid_y.ravel()),
+        )
+        window = Rect(2, 2, 9, 9)
+        assert union.covers_rect(window) == reference.covers_rect(window)
+        if not union.is_empty:
+            assert union.mbr() == reference.mbr()
+            p = Point(6.25, 6.25)
+            assert union.distance_to_boundary(p) == pytest.approx(
+                reference.distance_to_boundary(p), rel=1e-9, abs=1e-9
+            )
+
+    @given(st.lists(op_strategy, min_size=1, max_size=10), lattice_rect)
+    @settings(max_examples=80, deadline=None)
+    def test_subtract_from_rect_partitions_window(self, ops, window):
+        union = SlabUnion()
+        for op, arg in ops:
+            if op == "+":
+                union.insert_rect(arg)
+            elif op == "-":
+                union.subtract_rect(arg)
+            else:
+                union.subtract_point_cut(arg)
+        remainder = union.subtract_from_rect(window)
+        covered = window.area - sum(r.area for r in remainder)
+        # covered must equal area(window ∩ union) measured on pieces
+        inter = sum(
+            r.intersection(window).area
+            for r in union.disjoint_rects()
+            if r.intersection(window) is not None
+        )
+        assert covered == pytest.approx(inter, rel=1e-9, abs=1e-9)
+
+
+class TestPointCut:
+    def test_cut_point_excluded_margin_kept(self):
+        union = SlabUnion().insert_rect(Rect(0, 0, 10, 10))
+        p = Point(4.0, 6.0)
+        union.subtract_point_cut(p)
+        assert not union.contains_point(p)
+        # Area loss is the tiny square only.
+        assert union.area == pytest.approx(100.0, abs=1e-12)
+        # Points one margin away in each axis survive.
+        assert union.contains_point(Point(4.0 - 1e-9, 6.0))
+        assert union.contains_point(Point(4.0, 6.0 + 1e-9))
+
+    def test_cut_outside_region_is_noop_on_structure(self):
+        union = SlabUnion().insert_rect(Rect(0, 0, 2, 2))
+        before_area = union.area
+        union.subtract_point_cut(Point(50.0, 50.0))
+        assert union.area == before_area
+        assert union.contains_point(Point(1, 1))
+
+
+class TestPersistence:
+    def test_clone_is_isolated(self):
+        base = SlabUnion().insert_rect(Rect(0, 0, 4, 4))
+        twin = base.clone()
+        twin.insert_rect(Rect(10, 0, 14, 4))
+        assert base.area == 16.0
+        assert twin.area == 32.0
+        base.subtract_rect(Rect(0, 0, 2, 4))
+        assert base.area == 8.0
+        assert twin.area == 32.0
+
+    def test_clone_shares_then_diverges_structurally(self):
+        base = SlabUnion.from_rects([Rect(0, 0, 4, 4), Rect(2, 2, 8, 8)])
+        twin = base.clone()
+        assert twin._slabs == base._slabs
+        twin.insert_rect(Rect(0, 0, 8, 8))
+        assert twin._slabs != base._slabs
+        # base unchanged, still canonical vs eager
+        eager = RectUnion([Rect(0, 0, 4, 4), Rect(2, 2, 8, 8)])
+        assert base._xs == eager._xs
+        assert base._slabs == eager._slab_intervals
+
+    def test_freeze_guards_mutation(self):
+        union = SlabUnion().insert_rect(Rect(0, 0, 1, 1)).freeze()
+        with pytest.raises(GeometryError):
+            union.insert_rect(Rect(2, 2, 3, 3))
+        with pytest.raises(GeometryError):
+            union.subtract_rect(Rect(0, 0, 1, 1))
+        # ... but a clone of a frozen union mutates freely.
+        union.clone().insert_rect(Rect(2, 2, 3, 3))
+
+    def test_rects_unavailable_after_subtract(self):
+        union = SlabUnion().insert_rect(Rect(0, 0, 4, 4))
+        assert union.rects == (Rect(0, 0, 4, 4),)
+        union.subtract_rect(Rect(1, 1, 2, 2))
+        with pytest.raises(GeometryError):
+            union.rects
+
+    def test_generation_advances_and_memo_refreshes(self):
+        union = SlabUnion().insert_rect(Rect(0, 0, 2, 2))
+        g = union.generation
+        assert union.area == 4.0
+        union.insert_rect(Rect(2, 0, 4, 2))
+        assert union.generation > g
+        assert union.area == 8.0
+
+    def test_empty_contracts(self):
+        union = SlabUnion()
+        assert union.is_empty
+        assert union.area == 0.0
+        with pytest.raises(GeometryError):
+            union.mbr()
+        with pytest.raises(GeometryError):
+            union.distance_to_boundary(Point(0, 0))
+        assert union.subtract_from_rect(Rect(0, 0, 1, 1)) == [Rect(0, 0, 1, 1)]
+        assert not union.contains_point(Point(0, 0))

@@ -1,10 +1,13 @@
 # Local CI: `make check` chains lint -> tier-1 tests -> traced smoke
-# -> a fixed-seed differential-oracle smoke (faults off and on) -> a
-# perf smoke (profiled 500-query kNN run vs the committed baseline).
+# (one-shot fig10 plus the continuous figc sweep) -> a fixed-seed
+# differential-oracle smoke (faults off and on, plus the continuous
+# A/B legs) -> perf smokes (profiled 500-query kNN run vs
+# BENCH_PR6.json, and the standing-query A/B vs BENCH_PR7.json).
 #
-# `make bench-baseline` re-records BENCH_PR6.json on the current
-# machine; commit it whenever the hot path (or the hardware the CI
-# runs on) changes, or the 25% perf-smoke allowance goes stale.
+# `make bench-baseline` re-records BENCH_PR6.json and BENCH_PR7.json
+# on the current machine; commit them whenever the hot path (or the
+# hardware the CI runs on) changes, or the 25% perf-smoke allowance
+# goes stale.
 #
 # ruff and mypy are optional (the CI image may not ship them); their
 # targets detect absence and skip with a notice instead of failing, so
@@ -40,6 +43,13 @@ smoke:
 	$(PYTHON) -m repro.cli trace-summary /tmp/repro-smoke.jsonl \
 		| tail -n 1
 	@rm -f /tmp/repro-smoke.jsonl
+	@echo ">> traced continuous smoke (figc)"
+	$(PYTHON) -m repro.cli bench-quick --figures figc --scale 0.02 \
+		--warmup 40 --measure 60 --trace /tmp/repro-smoke-figc.jsonl \
+		> /dev/null
+	$(PYTHON) -m repro.cli trace-summary /tmp/repro-smoke-figc.jsonl \
+		| tail -n 1
+	@rm -f /tmp/repro-smoke-figc.jsonl
 
 oracle-smoke:
 	@echo ">> differential-oracle smoke (fixed seed, faults off and on)"
@@ -49,10 +59,17 @@ perf-smoke:
 	@echo ">> perf smoke (profiled 500-query kNN run vs BENCH_PR6.json)"
 	$(PYTHON) -m repro.cli profile --repeat 2 \
 		--baseline BENCH_PR6.json --max-regression 0.25
+	@echo ">> perf smoke (continuous standing-query A/B vs BENCH_PR7.json)"
+	$(PYTHON) -m repro.cli profile --kind continuous --scale 0.05 \
+		--queries 100 --repeat 2 \
+		--baseline BENCH_PR7.json --max-regression 0.25
 
 bench-baseline:
 	@echo ">> recording profiled-workload baseline -> BENCH_PR6.json"
 	$(PYTHON) -m repro.cli profile --repeat 3 --out BENCH_PR6.json
+	@echo ">> recording continuous A/B baseline -> BENCH_PR7.json"
+	$(PYTHON) -m repro.cli profile --kind continuous --scale 0.05 \
+		--queries 100 --repeat 3 --out BENCH_PR7.json
 	@echo ">> cache-churn microbenchmark (informational)"
 	$(PYTHON) -m repro.cli profile --kind churn --queries 4000 \
 		--repeat 3 --top 10

@@ -1,6 +1,7 @@
 """Wireless broadcast substrate: (1, m) cycle, Hilbert data file, and
 the on-air spatial query algorithms (Zheng et al. [17])."""
 
+from .batch import BatchMember, BatchScanResult, batch_scan
 from .client import OnAirClient
 from .onair_knn import (
     KnnPlan,
@@ -15,6 +16,8 @@ from .schedule import BroadcastSchedule, RetrievalCost
 from .server import BroadcastServer
 
 __all__ = [
+    "BatchMember",
+    "BatchScanResult",
     "BroadcastSchedule",
     "BroadcastServer",
     "DataBucket",
@@ -25,6 +28,7 @@ __all__ = [
     "OnAirKnnResult",
     "OnAirWindowResult",
     "RetrievalCost",
+    "batch_scan",
     "estimate_search_radius",
     "onair_knn",
     "onair_window",

@@ -1,0 +1,114 @@
+"""Batched broadcast-cycle retrieval for concurrent re-evaluations.
+
+When several standing queries fall back to the channel in the same
+broadcast cycle, their second-scan segments overlap heavily — every
+member wants a contiguous bucket run around its own position, and the
+(1, m) schedule airs each bucket once per cycle regardless of how many
+listeners want it.  :func:`batch_scan` therefore prices **one** shared
+scan over the union of the members' segments (after BRkNN-light's
+batch grouping): one index probe using the widest member's index read,
+one pass over the merged bucket list, every bucket downloaded once.
+
+Answer isolation is preserved exactly: each member's download is
+reassembled from *its own* plan's buckets, in its own plan order, so
+the per-member POI sequences — and everything derived from them
+(answers, cached regions, bonus blocks) — are bit-identical to the
+member having scanned solo.  Only the channel cost is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..check import invariants
+from ..errors import BroadcastError
+from ..model import POI
+from ..obs import NO_TRACER
+from .schedule import BroadcastSchedule, RetrievalCost
+from .server import BroadcastServer
+
+
+@dataclass(frozen=True, slots=True)
+class BatchMember:
+    """One standing query's share of a batched scan."""
+
+    member_id: int
+    bucket_ids: tuple[int, ...]
+    index_read_packets: int
+
+
+@dataclass(frozen=True, slots=True)
+class BatchScanResult:
+    """One shared retrieval serving every member of the batch.
+
+    ``downloads`` maps each ``member_id`` to the POI sequence that
+    member would have downloaded solo (its own buckets, its own plan
+    order); ``cost`` is the single shared channel bill.
+    """
+
+    cost: RetrievalCost
+    bucket_ids: tuple[int, ...]
+    downloads: dict[int, tuple[POI, ...]]
+
+    @property
+    def width(self) -> int:
+        return len(self.downloads)
+
+
+def batch_scan(
+    server: BroadcastServer,
+    schedule: BroadcastSchedule,
+    members: Sequence[BatchMember],
+    t_query: float,
+    channel=None,
+    tracer=None,
+) -> BatchScanResult:
+    """Run one shared index/data scan for a batch of members.
+
+    The union bucket list is sorted (broadcast order — the schedule
+    catches each bucket on its next airing), the index read is the
+    widest any member needs, and lost buckets are recovered once for
+    the whole batch.  Duplicate ``member_id`` values are rejected:
+    the downloads map could silently drop one member's plan.
+    """
+    if not members:
+        raise BroadcastError("batch scan needs at least one member")
+    ids = [member.member_id for member in members]
+    if len(set(ids)) != len(ids):
+        raise BroadcastError(f"duplicate batch member ids: {sorted(ids)}")
+    union_ids = sorted({b for member in members for b in member.bucket_ids})
+    index_read = max(member.index_read_packets for member in members)
+    if tracer is None:
+        tracer = NO_TRACER
+    with tracer.span("broadcast.batch_scan") as span:
+        cost = schedule.retrieve_with_recovery(
+            t_query,
+            union_ids,
+            index_read,
+            channel=channel,
+            recovery_index_packets=server.index.tree_probe_packets,
+        )
+        bucket_pois = {
+            bucket_id: tuple(server.pois_in_bucket(bucket_id))
+            for bucket_id in union_ids
+        }
+        downloads: dict[int, tuple[POI, ...]] = {}
+        for member in members:
+            pois: list[POI] = []
+            for bucket_id in member.bucket_ids:
+                pois.extend(bucket_pois[bucket_id])
+            downloads[member.member_id] = tuple(pois)
+        span.set(
+            width=len(members),
+            buckets=cost.buckets_downloaded,
+            tuning_packets=cost.tuning_packets,
+            sim_s=cost.access_latency,
+        )
+    if invariants.check_enabled():
+        invariants.check_retrieval_cost(cost, len(union_ids))
+    return BatchScanResult(
+        cost=cost,
+        bucket_ids=tuple(union_ids),
+        downloads=downloads,
+    )

@@ -704,20 +704,43 @@ class POICache:
     ) -> None:
         """Test helper: assert the verified-region invariant.
 
-        Every server POI strictly inside a region (by more than
-        ``margin``) must be cached.  When the slab mirror is
-        materialised, the same contract is asserted over its (larger)
-        area: a POI strictly interior to the mirror must be cached.
+        Every server POI *strictly more than* ``margin`` inside a
+        region must be cached — strictly-open interiority, the one
+        definition both branches share: eviction shrinking and mirror
+        point cuts both leave survivors exactly ``margin`` from the
+        excluded point, so a POI sitting precisely on the margin band
+        is legal either way.  When the slab mirror is materialised the
+        same contract is asserted over its (larger) area.
+
+        Contrapositive (what the continuous safe regions rely on): an
+        *uncached* POI is at least ``distance_to_boundary(q) - margin``
+        away from any point ``q`` of the verified area.
         """
         server_pois = list(server_pois)
         for vr in self._regions:
-            inner = vr.rect
-            try:
-                inner = inner.expanded(-margin)
-            except Exception:
+            rect = vr.rect
+            # A rectangle thinner than the 2*margin band has no strict
+            # interior at this margin: nothing to check (and the
+            # negative-margin shrink would be malformed).  Only this
+            # degenerate case is skipped — any other failure below
+            # must propagate, not silently skip the region.
+            if (
+                rect.x2 - rect.x1 <= 2.0 * margin
+                or rect.y2 - rect.y1 <= 2.0 * margin
+            ):
                 continue
+            inner = rect.expanded(-margin)
+            ix1, iy1, ix2, iy2 = inner.x1, inner.y1, inner.x2, inner.y2
             for poi in server_pois:
-                if inner.contains_point(poi.location) and poi.poi_id not in self:
+                location = poi.location
+                # Open comparisons: for a rectangle,
+                # ``distance-to-boundary > margin`` is exactly strict
+                # containment in the margin-shrunk rectangle.
+                if (
+                    ix1 < location.x < ix2
+                    and iy1 < location.y < iy2
+                    and poi.poi_id not in self
+                ):
                     raise CacheError(
                         f"verified region {vr.rect.as_tuple()} covers uncached"
                         f" POI {poi.poi_id} at ({poi.x}, {poi.y})"

@@ -40,6 +40,8 @@ from .invariants import (
 
 _LAZY = {
     "CampaignReport": "differential",
+    "ContinuousCampaignReport": "continuous",
+    "run_continuous_campaign": "continuous",
     "DEFAULT_FAULTS": "differential",
     "DifferentialChecker": "differential",
     "Disagreement": "differential",
@@ -49,6 +51,7 @@ _LAZY = {
     "write_artifact": "differential",
     "knn_radius_monotone": "metamorphic",
     "region_mirror_consistency": "metamorphic",
+    "safe_region_contract": "metamorphic",
     "translation_invariant_knn": "metamorphic",
     "union_area_monotone": "metamorphic",
     "window_shrink_duality": "metamorphic",

@@ -180,6 +180,101 @@ def window_shrink_duality(union: RectUnion, window: Rect) -> list[str]:
     return violations
 
 
+def safe_region_contract(
+    cache,
+    server_pois: Sequence[POI],
+    anchor: Point,
+    k: int,
+    probes: Sequence[Point],
+    window_side: float = 0.0,
+    margin_scale: float = 4.0,
+) -> list[str]:
+    """The safe-region certificate against the full-database truth.
+
+    Three relations, checked with the independent oracles:
+
+    * **snapshot completeness** — the frozen snapshot is exactly the
+      server POIs strictly inside the open disc ``D(anchor, r_known)``
+      (the soundness chain of :mod:`repro.continuous.safe_region`);
+    * **exactness inside the safe tests** — at every probe where the
+      kNN (window) safe test holds, the snapshot answer equals the
+      oracle over the *whole* database, id for id;
+    * **shrink monotonicity** — re-deriving with an inflated margin
+      (modelled knowledge loss) yields a smaller-or-equal ``r_known``,
+      a subset snapshot, and a smaller-or-equal safe radius, and that
+      shrunk region stays exact within its own disc.
+    """
+    from ..cache import EVICTION_MARGIN
+    from ..continuous import derive_safe_region
+    from .oracles import oracle_knn_ids, oracle_window_ids
+
+    violations: list[str] = []
+    region = derive_safe_region(cache, anchor, k=k)
+    if region is None:
+        return violations
+    snap_ids = sorted(p.poi_id for p in region.snapshot)
+    true_ids = sorted(
+        p.poi_id
+        for p in server_pois
+        if math.hypot(p.x - anchor.x, p.y - anchor.y) < region.r_known
+    )
+    if snap_ids != true_ids:
+        missing = sorted(set(true_ids) - set(snap_ids))
+        extra = sorted(set(snap_ids) - set(true_ids))
+        violations.append(
+            f"snapshot != open disc D(anchor, {region.r_known}):"
+            f" missing {missing}, extra {extra}"
+        )
+
+    def probe_region(label, candidate, points):
+        for p in points:
+            if candidate.knn_safe(p):
+                got = [e.poi.poi_id for e in candidate.knn_answer(p, k)]
+                want = oracle_knn_ids(server_pois, p, k)
+                if got != want:
+                    violations.append(
+                        f"{label} kNN at {p.as_tuple()}: safe answer"
+                        f" {got} != oracle {want}"
+                    )
+            if window_side > 0.0:
+                half = window_side / 2.0
+                window = Rect(p.x - half, p.y - half, p.x + half, p.y + half)
+                if candidate.window_safe(window):
+                    got = sorted(
+                        x.poi_id for x in candidate.window_answer(window)
+                    )
+                    want = oracle_window_ids(server_pois, window)
+                    if got != want:
+                        violations.append(
+                            f"{label} window at {p.as_tuple()}: safe answer"
+                            f" {got} != oracle {want}"
+                        )
+
+    probe_region("safe-region", region, probes)
+    shrunk = derive_safe_region(
+        cache, anchor, k=k, margin=margin_scale * EVICTION_MARGIN
+    )
+    if shrunk is not None:
+        if shrunk.r_known > region.r_known + AREA_TOL:
+            violations.append(
+                f"margin-inflated r_known grew: {shrunk.r_known}"
+                f" > {region.r_known}"
+            )
+        shrunk_ids = {p.poi_id for p in shrunk.snapshot}
+        if not shrunk_ids <= set(snap_ids):
+            violations.append(
+                "margin-inflated snapshot is not a subset:"
+                f" extra {sorted(shrunk_ids - set(snap_ids))}"
+            )
+        if shrunk.safe_radius > region.safe_radius + AREA_TOL:
+            violations.append(
+                f"margin-inflated safe radius grew: {shrunk.safe_radius}"
+                f" > {region.safe_radius}"
+            )
+        probe_region("shrunk safe-region", shrunk, probes)
+    return violations
+
+
 def region_mirror_consistency(cache, union: RectUnion) -> list[str]:
     """The incremental slab mirror against the eager wire-format union.
 

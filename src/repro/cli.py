@@ -47,6 +47,7 @@ from .obs import (
 from .experiments import (
     Simulation,
     format_series,
+    run_continuous_sharing,
     run_knn_cache,
     run_knn_k,
     run_knn_txrange,
@@ -71,6 +72,7 @@ FIGURES: dict[str, Callable] = {
     "fig13": run_wq_txrange,
     "fig14": run_wq_cache,
     "fig15": run_wq_size,
+    "figc": run_continuous_sharing,
 }
 
 REGIONS = {
@@ -88,6 +90,7 @@ QUICK_SWEEPS: dict[str, tuple[float, ...]] = {
     "fig13": (50, 200),
     "fig14": (6, 30),
     "fig15": (1, 5),
+    "figc": (20, 60),
 }
 
 
@@ -266,10 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--region", choices=sorted(REGIONS), default="la")
     prof.add_argument("--scale", type=float, default=0.1)
     prof.add_argument(
-        "--kind", choices=("knn", "window", "churn"), default="knn",
-        help="profiled workload: a query kind, or 'churn' for the"
+        "--kind", choices=("knn", "window", "churn", "continuous"),
+        default="knn",
+        help="profiled workload: a query kind, 'churn' for the"
         " synthetic cache insert/evict microbenchmark (--queries"
-        " becomes the op count; --region/--scale are ignored)",
+        " becomes the op count; --region/--scale are ignored), or"
+        " 'continuous' for the standing-query A/B (--queries becomes"
+        " the standing-query count)",
     )
     prof.add_argument("--queries", type=int, default=500)
     prof.add_argument("--seed", type=int, default=0)
@@ -509,6 +515,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     best_wall = math.inf
     best_profiler: cProfile.Profile | None = None
+    continuous_report: dict | None = None
     if args.kind == "churn":
         from .experiments.bench import bench_cache_churn
 
@@ -520,6 +527,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
             if wall < best_wall:
                 best_wall = wall
                 best_profiler = profiler
+    elif args.kind == "continuous":
+        from .experiments.bench import bench_continuous
+
+        params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+        for _ in range(max(1, args.repeat)):
+            profiler = cProfile.Profile()
+            start = time.perf_counter()
+            result = profiler.runcall(
+                bench_continuous, params, args.queries, args.seed
+            )
+            wall = time.perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+                best_profiler = profiler
+                continuous_report = result
     else:
         params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
         kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
@@ -567,6 +589,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         "sort": args.sort,
         "hotspots": hotspots,
     }
+    if continuous_report is not None:
+        report["continuous"] = continuous_report
 
     status = 0
     if args.baseline:
@@ -601,6 +625,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
         p = report["parameters"]
         if p["kind"] == "churn":
             workload = f"{p['queries']} cache-churn ops per capacity"
+        elif p["kind"] == "continuous":
+            workload = (
+                f"{p['queries']} standing queries (A/B) on {p['region']}"
+                f" (scale {p['area_scale']:g})"
+            )
         else:
             workload = (
                 f"{p['queries']} {p['kind']} queries on {p['region']}"
@@ -611,6 +640,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f" {best_wall:.3f} s profiled wall,"
             f" {report['total_calls']:,} calls"
         )
+        if continuous_report is not None:
+            print(
+                f"  broadcast access ratio"
+                f" {continuous_report['broadcast_access_ratio']:.2f}x"
+                f" (naive {continuous_report['naive']['tuning_packets']}"
+                f" vs monitored"
+                f" {continuous_report['monitored']['tuning_packets']}"
+                f" tuning packets, safe-hit rate"
+                f" {continuous_report['monitored']['safe_hit_rate']:.0%})"
+            )
         print(f"top {len(hotspots)} by {args.sort}:")
         print(f"{'ncalls':>10s} {'tottime':>9s} {'cumtime':>9s}  function")
         for row in hotspots:
@@ -643,7 +682,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    from .check import DEFAULT_FAULTS, run_campaign
+    from .check import DEFAULT_FAULTS, run_campaign, run_continuous_campaign
 
     fault_modes = {
         "off": (False,),
@@ -680,6 +719,33 @@ def cmd_check(args: argparse.Namespace) -> int:
         for disagreement in report.disagreements:
             print(f"    {disagreement.summary()}")
         total_disagreements += len(report.disagreements)
+    # Continuous legs: the incremental engine (safe regions + batched
+    # scans) vs the per-tick recompute baseline vs the oracle, plus the
+    # live safe-region metamorphic contract.
+    standing = min(40, max(8, per_leg // 10))
+    for region in args.regions:
+        continuous = run_continuous_campaign(
+            region,
+            seed=args.seed,
+            standing=standing,
+            ticks=8,
+            area_scale=args.scale,
+        )
+        status = (
+            "ok"
+            if continuous.ok
+            else f"{len(continuous.mismatches)} DISAGREE"
+        )
+        print(
+            f"{region:>10s} continuous {continuous.evaluations_checked:>6d}"
+            f" evals ({continuous.standing} standing x {continuous.ticks}"
+            f" ticks, {continuous.contract_checks} contracts,"
+            f" ratio {continuous.broadcast_access_ratio:.1f}x)"
+            f" in {continuous.elapsed_s:6.1f}s: {status}"
+        )
+        for mismatch in continuous.mismatches:
+            print(f"    {mismatch}")
+        total_disagreements += len(continuous.mismatches)
     if total_disagreements:
         where = f" (artifacts in {args.out})" if args.out else ""
         print(f"FAIL: {total_disagreements} disagreement(s){where}")

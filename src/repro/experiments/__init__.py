@@ -5,9 +5,11 @@ from .metrics import MetricsCollector, QueryRecord
 from .parallel import PointResult, SweepPoint, SweepRunner, assemble_series
 from .reporting import format_series, format_table
 from .runners import (
+    CONTINUOUS_SERIES,
     KNN_SERIES,
     WQ_SERIES,
     SweepSeries,
+    run_continuous_sharing,
     run_knn_cache,
     run_knn_k,
     run_knn_txrange,
@@ -23,6 +25,7 @@ from ..workloads import scaled_parameters
 
 __all__ = [
     "BaseStation",
+    "CONTINUOUS_SERIES",
     "HostQueryResult",
     "KNN_SERIES",
     "MetricsCollector",
@@ -39,6 +42,7 @@ __all__ = [
     "assemble_series",
     "format_series",
     "format_table",
+    "run_continuous_sharing",
     "run_knn_cache",
     "run_knn_k",
     "run_knn_txrange",

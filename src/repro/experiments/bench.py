@@ -97,3 +97,68 @@ def bench_cache_churn(
             }
         )
     return report
+
+
+def bench_continuous(
+    params,
+    standing: int,
+    seed: int,
+    ticks: int = 20,
+    tick_interval: float = 5.0,
+    warmup_queries: int = 150,
+) -> dict:
+    """A/B the continuous engine: incremental vs recompute-from-scratch.
+
+    Runs the same standing-query set over two identically seeded
+    worlds — safe regions + batched scans on, then both off — and
+    reports the channel cost of each side plus their ratio.  The
+    caller (``repro.cli profile --kind continuous``) wraps this in
+    cProfile and commits the report as the perf-smoke baseline; the
+    function itself does no timing.
+    """
+    from ..workloads import QueryKind
+    from .simulator import Simulation
+
+    def run(use_safe_regions: bool, batch_scans: bool):
+        sim = Simulation(
+            params, seed=seed, accept_approximate=False, overhear=False
+        )
+        monitor = sim.run_continuous(
+            QueryKind.KNN,
+            standing=standing,
+            ticks=ticks,
+            tick_interval=tick_interval,
+            use_safe_regions=use_safe_regions,
+            batch_scans=batch_scans,
+            warmup_queries=warmup_queries,
+        )
+        stats = monitor.stats
+        return {
+            "evaluations": stats.evaluations,
+            "safe_hits": stats.safe_hits,
+            "safe_hit_rate": stats.safe_hit_rate,
+            "reeval_verified": stats.reeval_verified,
+            "reeval_broadcast": stats.reeval_broadcast,
+            "scans": stats.scans,
+            "tuning_packets": stats.tuning_packets,
+            "buckets_downloaded": stats.buckets_downloaded,
+            "access_latency_s": stats.access_latency,
+            "mean_batch_width": stats.mean_batch_width,
+        }
+
+    monitored = run(True, True)
+    naive = run(False, False)
+    ratio = (
+        naive["tuning_packets"] / monitored["tuning_packets"]
+        if monitored["tuning_packets"]
+        else float("inf")
+    )
+    return {
+        "standing": standing,
+        "ticks": ticks,
+        "tick_interval_s": tick_interval,
+        "warmup_queries": warmup_queries,
+        "monitored": monitored,
+        "naive": naive,
+        "broadcast_access_ratio": ratio,
+    }

@@ -124,6 +124,10 @@ class MobileHost:
         self._share_generation: int | None = None
         self._share_memo: ShareResponse | None = None
         self._mvr_memo = MVRMemo()
+        # Standing (continuous) queries anchored at this host, keyed by
+        # query id.  The host carries them across ticks; the continuous
+        # monitor engine owns their lifecycle.
+        self.standing: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     def share_response(
@@ -308,6 +312,128 @@ class MobileHost:
         pois = tuple(_pois_from_responses(responses, region, mvr).values())
         self.cache.insert_result(region, list(pois), now, position, heading)
         return region, pois
+
+    # -- continuous monitoring hooks -----------------------------------
+    # The standing-query engine (:mod:`repro.continuous`) drives the
+    # same pipeline as execute_knn / execute_window, but needs the
+    # resolution step, the broadcast scan, and the cache settlement
+    # decoupled so concurrent re-evaluations can share one scan.  Each
+    # hook below replays the corresponding branch of the one-shot path
+    # verbatim (same call order, same filters), so a standing query
+    # settled through them leaves the cache bit-identical to a one-shot
+    # query at the same place and time.
+
+    def resolve_knn(
+        self,
+        position: Point,
+        k: int,
+        responses: Sequence[ShareResponse],
+        poi_density: float,
+        accept_approximate: bool = False,
+        min_correctness: float = 0.5,
+    ):
+        """Run SBNN for a standing kNN re-evaluation (exact by default)."""
+        return sbnn(
+            position,
+            responses,
+            k,
+            poi_density,
+            accept_approximate=accept_approximate,
+            min_correctness=min_correctness,
+            mvr=self._mvr_memo.merged(responses),
+        )
+
+    def resolve_window(self, window: Rect, responses: Sequence[ShareResponse]):
+        """Run SBWQ for a standing window re-evaluation."""
+        return sbwq(window, responses, mvr=self._mvr_memo.merged(responses))
+
+    def settle_knn_peer(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        k: int,
+        outcome,
+        responses: Sequence[ShareResponse],
+        now: float,
+        cache_gossip: bool = True,
+    ) -> tuple[HeapEntry, ...]:
+        """Cache settlement of a peer-resolved kNN (non-BROADCAST).
+
+        Mirrors the order of the peer branch of :meth:`execute_knn`:
+        gossip the verified disc first, then touch the answers.
+        """
+        if cache_gossip:
+            self._gossip_cache(position, heading, outcome.mvr, responses, now)
+        entries = tuple(outcome.heap.results()[:k])
+        self.cache.touch((e.poi.poi_id for e in entries), now)
+        return entries
+
+    def settle_window_peer(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        window: Rect,
+        outcome,
+        now: float,
+    ) -> tuple[POI, ...]:
+        """Cache settlement of a peer-VERIFIED window query."""
+        self.cache.touch((p.poi_id for p in outcome.verified_pois), now)
+        self.cache.insert_result(
+            window, list(outcome.verified_pois), now, position, heading
+        )
+        return outcome.verified_pois
+
+    def adopt_knn_download(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        outcome,
+        plan,
+        downloaded: Sequence[POI],
+        responses: Sequence[ShareResponse],
+        now: float,
+    ) -> tuple[SharedRegion, ...]:
+        """Cache settlement of a broadcast-resolved kNN.
+
+        ``plan`` / ``downloaded`` may come from a solo scan or from this
+        member's slice of a batched scan — the caching is identical.
+        """
+        covered = plan.search_mbr
+        complete = {poi.poi_id: poi for poi in downloaded}
+        complete.update(_pois_from_responses(responses, covered, outcome.mvr))
+        cx1, cy1, cx2, cy2 = covered.x1, covered.y1, covered.x2, covered.y2
+        cached_pois = tuple(
+            [
+                poi
+                for poi in complete.values()
+                if cx1 <= poi.location.x <= cx2
+                and cy1 <= poi.location.y <= cy2
+            ]
+        )
+        shared_regions: list[SharedRegion] = [(covered, cached_pois)]
+        shared_regions.extend(_pois_per_region(plan.bonus_regions, downloaded))
+        for region, pois in shared_regions:
+            self.cache.insert_result(region, list(pois), now, position, heading)
+        return tuple(shared_regions)
+
+    def adopt_window_download(
+        self,
+        position: Point,
+        heading: tuple[float, float],
+        window: Rect,
+        answers: dict[int, POI],
+        bonus_regions: Sequence[Rect],
+        downloaded: Sequence[POI],
+        now: float,
+    ) -> tuple[SharedRegion, ...]:
+        """Cache settlement of a broadcast-resolved window query."""
+        shared_regions: list[SharedRegion] = [
+            (window, tuple(sorted(answers.values(), key=lambda p: p.poi_id)))
+        ]
+        shared_regions.extend(_pois_per_region(bonus_regions, downloaded))
+        for region, pois in shared_regions:
+            self.cache.insert_result(region, list(pois), now, position, heading)
+        return tuple(shared_regions)
 
     # ------------------------------------------------------------------
     def execute_window(

@@ -12,6 +12,7 @@ the benchmarks use more substantial defaults.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -20,6 +21,11 @@ from .metrics import MetricsCollector
 
 KNN_SERIES = ("Solved by SBNN", "Solved by Approximate SBNN", "Solved by Broadcast")
 WQ_SERIES = ("Solved by SBWQ", "Solved by Broadcast")
+CONTINUOUS_SERIES = (
+    "Safe-Region Hit Rate (%)",
+    "Broadcast Access Ratio (naive/monitored)",
+    "Mean Batch Width",
+)
 
 
 @dataclass(slots=True)
@@ -136,6 +142,93 @@ def run_wq_cache(
     """Figure 14: window-query resolution shares vs cache capacity."""
     kwargs.setdefault("x_label", "Number of Cached Items")
     return run_sweep("cache_size", values, QueryKind.WINDOW, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Continuous workload: batched-sharing gains vs standing-query count
+# ----------------------------------------------------------------------
+def run_continuous_sharing(
+    values: Sequence[float] = (25, 50, 100),
+    regions: Sequence[ParameterSet] = ALL_REGIONS,
+    area_scale: float = 0.1,
+    seed: int = 0,
+    warmup_queries: int = 2500,
+    measure_queries: int = 400,
+    x_label: str | None = None,
+    max_workers: int = 1,
+    tick_interval: float = 5.0,
+    **sim_kwargs,
+) -> list[SweepSeries]:
+    """Continuous-monitoring sweep: sharing gains vs standing queries.
+
+    For each (region, standing-query count) point, one monitored run
+    (safe regions + batched scans) and one naive recompute-per-tick
+    run execute the identical workload on identically seeded worlds;
+    the series chart the safe-region hit rate, the broadcast-access
+    ratio (naive tuning packets over monitored — the batching win),
+    and the mean batch width.
+
+    ``measure_queries`` maps to the tick budget (one tick re-evaluates
+    every standing query, so 400 "measured queries" ≈ 20 ticks);
+    ``max_workers`` is accepted for CLI symmetry but the A/B pairs run
+    serially — each point is two full simulations already.
+    """
+    from ..workloads import scaled_parameters
+    from .simulator import Simulation
+
+    del max_workers
+    values = list(values)
+    ticks = max(2, measure_queries // 20)
+    panels: list[SweepSeries] = []
+    for region_index, base in enumerate(regions):
+        params = scaled_parameters(base, area_scale=area_scale)
+        xs: list[float] = []
+        series: dict[str, list[float]] = {name: [] for name in CONTINUOUS_SERIES}
+        wall_clock: list[float] = []
+        for value_index, standing in enumerate(values):
+            point_seed = seed + 1000 * region_index + value_index
+            point_start = time.perf_counter()
+            stats = {}
+            for label, flags in (("monitored", True), ("naive", False)):
+                sim = Simulation(
+                    params,
+                    seed=point_seed,
+                    accept_approximate=False,
+                    overhear=False,
+                    **sim_kwargs,
+                )
+                stats[label] = sim.run_continuous(
+                    QueryKind.KNN,
+                    standing=int(standing),
+                    ticks=ticks,
+                    tick_interval=tick_interval,
+                    use_safe_regions=flags,
+                    batch_scans=flags,
+                    warmup_queries=warmup_queries,
+                ).stats
+            monitored, naive = stats["monitored"], stats["naive"]
+            ratio = (
+                naive.tuning_packets / monitored.tuning_packets
+                if monitored.tuning_packets
+                else float("inf")
+            )
+            xs.append(float(standing))
+            series[CONTINUOUS_SERIES[0]].append(
+                100.0 * monitored.safe_hit_rate
+            )
+            series[CONTINUOUS_SERIES[1]].append(ratio)
+            series[CONTINUOUS_SERIES[2]].append(monitored.mean_batch_width)
+            wall_clock.append(time.perf_counter() - point_start)
+        panels.append(
+            SweepSeries(
+                region=params.name,
+                x_label=x_label or "Standing Queries",
+                xs=xs,
+                series=series,
+                wall_clock_s=wall_clock,
+            )
+        )
+    return panels
 
 
 # ----------------------------------------------------------------------

@@ -483,6 +483,48 @@ class Simulation:
         self.env.run(until=self.env.process(driver(self.env)))
         return collector
 
+    def run_continuous(
+        self,
+        kind: QueryKind,
+        standing: int = 100,
+        ticks: int = 30,
+        tick_interval: float = 5.0,
+        use_safe_regions: bool = True,
+        batch_scans: bool = True,
+        warmup_queries: int = 0,
+        workload_seed: int = 0,
+    ):
+        """Run a continuous-monitoring workload; returns the monitor.
+
+        ``standing`` queries (templates drawn from the Table 3
+        distributions with a *dedicated* RNG, so two simulations with
+        the same seeds monitor the identical query set without
+        perturbing the world stream) are re-evaluated every
+        ``tick_interval`` simulated seconds for ``ticks`` ticks.
+        ``use_safe_regions`` / ``batch_scans`` are the incremental
+        levers the A/B benchmark toggles; an optional one-shot
+        ``warmup_queries`` stream primes the fleet's caches first.
+        """
+        from ..continuous import ContinuousMonitor, standing_queries
+
+        if ticks < 1 or tick_interval <= 0:
+            raise ExperimentError("invalid ticks/tick_interval")
+        if warmup_queries:
+            self.run_workload(kind, 0, warmup_queries)
+        workload_rng = np.random.default_rng((workload_seed, 0xC017))
+        queries = standing_queries(self.params, kind, workload_rng, standing)
+        monitor = ContinuousMonitor(
+            self,
+            queries,
+            use_safe_regions=use_safe_regions,
+            batch_scans=batch_scans,
+            registry=self.registry,
+        )
+        start = self.env.now
+        for i in range(ticks):
+            monitor.tick(start + (i + 1) * tick_interval)
+        return monitor
+
     # ------------------------------------------------------------------
     # One-shot public API (used by the examples and quick_world)
     # ------------------------------------------------------------------

@@ -36,7 +36,7 @@ makes the MVR memo's copy-on-write delta merges cheap.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -198,12 +198,22 @@ class SlabUnion:
         Measure-theoretic subtraction on closed intervals: the cut
         leaves closed boundaries at the rectangle's edges, so a point
         strictly inside ``rect`` is strictly outside the remaining
-        region.  Member-rectangle tracking (:attr:`rects`) ends here.
+        region.  Member-rectangle tracking (:attr:`rects`) ends at the
+        first cut that actually removes area.
+
+        A cut that removes nothing — outside the x range, or missing
+        every y interval of the slabs it spans — is a structural
+        no-op: no generation bump, no cuts inserted, no interval
+        tuples replaced, and :attr:`rects` stays available.  Within an
+        effective cut, slabs whose intervals the cut band misses keep
+        their (structurally shared) tuples, and any inserted cut left
+        with identical intervals on both sides is merged away so a
+        perforation never strands redundant slabs.
         """
         if rect.x2 == rect.x1 or rect.y2 == rect.y1:
             return self
-        self._touch()
-        self._members = None
+        if self._frozen:
+            raise GeometryError("mutating a frozen SlabUnion")
         xs = self._xs
         if not xs:
             return self
@@ -211,17 +221,60 @@ class SlabUnion:
         hi_x = min(rect.x2, xs[-1])
         if lo_x >= hi_x:
             return self
+        cut_lo, cut_hi = rect.y1, rect.y2
+        slabs = self._slabs
+        # Pre-cut affected test over the slabs spanning (lo_x, hi_x):
+        # the cut removes area iff some interval meets the open band.
+        first = bisect_right(xs, lo_x) - 1
+        last = min(bisect_left(xs, hi_x), len(slabs))
+        affected = False
+        for j in range(max(first, 0), last):
+            for a, b in slabs[j]:
+                if a < cut_hi and b > cut_lo:
+                    affected = True
+                    break
+            if affected:
+                break
+        if not affected:
+            return self
+        self._touch()
+        self._members = None
         self._ensure_cut(lo_x)
         self._ensure_cut(hi_x)
         lo = bisect_left(self._xs, lo_x)
         hi = bisect_left(self._xs, hi_x)
-        cut = [(rect.y1, rect.y2)]
-        slabs = self._slabs
+        cut = [(cut_lo, cut_hi)]
         for j in range(lo, hi):
-            if slabs[j]:
-                slabs[j] = tuple(intervals_difference(slabs[j], cut))
+            intervals = slabs[j]
+            for a, b in intervals:
+                if a < cut_hi and b > cut_lo:
+                    slabs[j] = tuple(intervals_difference(intervals, cut))
+                    break
+        self._merge_equal_slabs(lo, hi)
         self._trim()
         return self
+
+    def _merge_equal_slabs(self, lo: int, hi: int) -> None:
+        """Drop cuts with identical merged intervals on both sides,
+        scanning the boundaries a subtraction over slabs ``[lo, hi)``
+        could have affected.
+
+        Only the subtract path calls this: the canonical insert-only
+        structure keeps cuts at every *member* edge even when the
+        neighbouring slabs coincide, so merging there would break the
+        bit-identity contract with the eager build.  After the first
+        subtraction the structure is set-semantic only, and a
+        redundant cut is pure overhead (it inflates ``slab_count``,
+        which the cache mirror uses as its compaction trigger).
+        """
+        xs, slabs = self._xs, self._slabs
+        j = min(hi, len(slabs) - 1)
+        floor = max(1, lo)
+        while j >= floor:
+            if slabs[j - 1] == slabs[j]:
+                del slabs[j]
+                del xs[j]
+            j -= 1
 
     def subtract_point_cut(
         self, p: Point, margin: float = POINT_CUT_MARGIN

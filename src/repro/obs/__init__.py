@@ -17,6 +17,7 @@ Three pieces, all optional and all free when unused:
 
 from .export import JsonLinesExporter, load_trace
 from .metrics import (
+    BATCH_WIDTH_BUCKETS,
     Counter,
     Histogram,
     LATENCY_BUCKETS_S,
@@ -27,6 +28,7 @@ from .summary import PhaseStats, TraceSummary, format_summary, summarize_spans
 from .trace import NO_TRACER, NullSpan, NullTracer, Span, Tracer
 
 __all__ = [
+    "BATCH_WIDTH_BUCKETS",
     "Counter",
     "Histogram",
     "JsonLinesExporter",

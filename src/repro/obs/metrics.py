@@ -17,6 +17,7 @@ from bisect import bisect_left
 from typing import Sequence
 
 __all__ = [
+    "BATCH_WIDTH_BUCKETS",
     "Counter",
     "Histogram",
     "LATENCY_BUCKETS_S",
@@ -26,11 +27,13 @@ __all__ = [
 
 # Fixed default bucket ladders.  Latencies are simulated seconds
 # (packet times are ~0.1 s, broadcast cycles tens of seconds);
-# tuning/bucket counts are small integers.
+# tuning/bucket counts are small integers.  Batch widths count the
+# standing-query members sharing one broadcast scan.
 LATENCY_BUCKETS_S: tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
 )
 TUNING_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+BATCH_WIDTH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
 
 
 class Counter:

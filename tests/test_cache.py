@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache import (
+    EVICTION_MARGIN,
     DirectionDistancePolicy,
     FIFOPolicy,
     LRUPolicy,
@@ -140,6 +141,41 @@ class TestEvictionSoundness:
         stranger = POI(777, Point(1.5, 1.5))
         with pytest.raises(CacheError):
             cache.check_soundness(pois + [stranger])
+
+    def test_boundary_point_is_legal_in_both_branches(self):
+        # Both check_soundness branches use strictly-open interiority:
+        # an uncached POI sitting *exactly* on the margin band — the
+        # state eviction shrinking and mirror point cuts leave behind —
+        # must not raise, with or without the mirror materialised.
+        cache = POICache(capacity=10)
+        cached = POI(1, Point(5, 5))
+        cache.insert_result(Rect(0, 0, 10, 10), [cached], 0.0, Point(5, 5))
+        on_margin = POI(777, Point(EVICTION_MARGIN, 5.0))
+        cache.check_soundness([cached, on_margin])  # rect branch only
+        assert cache.region_union.contains_point(on_margin.location)
+        cache.check_soundness([cached, on_margin])  # mirror branch too
+
+    def test_strict_interior_violation_raises_in_both_branches(self):
+        cache = POICache(capacity=10)
+        cached = POI(1, Point(5, 5))
+        cache.insert_result(Rect(0, 0, 10, 10), [cached], 0.0, Point(5, 5))
+        inside = POI(778, Point(2.0 * EVICTION_MARGIN, 5.0))
+        with pytest.raises(CacheError):
+            cache.check_soundness([cached, inside])
+        cache.region_union  # materialise the mirror
+        with pytest.raises(CacheError):
+            cache.check_soundness([cached, inside])
+
+    def test_thin_region_skipped_without_error(self):
+        # A region thinner than the 2*margin band has no strict
+        # interior: check_soundness must skip it (the negative-margin
+        # expand would be malformed) rather than raise or mask other
+        # regions' failures.
+        cache = POICache(capacity=10)
+        thin = Rect(0, 0, EVICTION_MARGIN, 10)
+        cache.insert_result(thin, [], 0.0, Point(0, 0))
+        stranger = POI(779, Point(EVICTION_MARGIN / 2, 5.0))
+        cache.check_soundness([stranger])
 
     @given(
         st.integers(1, 40),

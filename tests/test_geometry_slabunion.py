@@ -216,6 +216,93 @@ class TestPointCut:
         assert union.contains_point(Point(1, 1))
 
 
+class TestOnCutVictims:
+    """Eviction point cuts for victims lying exactly on slab x-cuts.
+
+    The sharpest subtract case: the tiny cut square straddles an
+    existing slab boundary (a member edge), so both neighbouring slabs
+    receive the same interval difference and the straddled cut becomes
+    redundant.  The union must stay set-correct with no sliver
+    intervals, no empty interior slabs, and no equal-neighbour cuts
+    left inside the perforated range.
+    """
+
+    @given(
+        st.lists(lattice_rect, min_size=1, max_size=8),
+        st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_on_cut_victim_leaves_canonical_structure(self, rects, coords):
+        union = incremental(rects)
+        p = Point(float(coords[0]), float(coords[1]))
+        # Snap the victim onto the nearest existing x cut so the cut
+        # square always straddles a slab boundary.
+        p = Point(min(union._xs, key=lambda x: abs(x - p.x)), p.y)
+        generation_before = union.generation
+        union.subtract_point_cut(p)
+        assert not union.contains_point(p)
+        reference = replay_eager([("+", r) for r in rects] + [("cut", p)])
+        assert math.isclose(
+            union.area, reference.area, rel_tol=1e-9, abs_tol=1e-9
+        )
+        xs, slabs = union._xs, union._slabs
+        if slabs:
+            assert len(xs) == len(slabs) + 1
+        else:
+            assert xs == []
+        # Strictly increasing cuts: no zero-width sliver slabs.
+        assert all(a < b for a, b in zip(xs, xs[1:]))
+        for intervals in slabs:
+            # Well-formed merged intervals: positive measure, sorted,
+            # strictly separated (touching intervals must have merged).
+            assert all(a < b for a, b in intervals)
+            assert all(
+                intervals[i][1] < intervals[i + 1][0]
+                for i in range(len(intervals) - 1)
+            )
+        # No equal-neighbour cut survives inside the perforated range —
+        # unless the cut was a structural no-op (the victim's square
+        # missed every interval), where the insert-only canonical
+        # structure intentionally keeps cuts at member edges even
+        # between coinciding slabs.
+        if union.generation != generation_before:
+            m = 1e-9
+            for j in range(1, len(slabs)):
+                if p.x - m <= xs[j] <= p.x + m:
+                    assert slabs[j - 1] != slabs[j]
+
+    def test_on_cut_victim_drops_redundant_member_edge(self):
+        union = incremental([Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)])
+        union.subtract_point_cut(Point(2.0, 1.0))
+        assert not union.contains_point(Point(2.0, 1.0))
+        # Both sides of the member edge at x=2 got the same interval
+        # difference, leaving the cut redundant; it must be merged away
+        # rather than inflate slab_count (the mirror compaction gauge).
+        assert 2.0 not in union._xs
+        assert union.slab_count == 3
+        assert union.contains_point(Point(2.0, 1.0 + 2e-9))
+        assert union.contains_point(Point(2.0 - 2e-9, 1.0))
+
+    def test_miss_y_band_is_structural_noop(self):
+        union = incremental([Rect(0, 0, 4, 2)])
+        g = union.generation
+        xs_before = list(union._xs)
+        slabs_before = list(union._slabs)
+        # Overlaps the x range but misses every y interval: removing
+        # nothing must insert no cuts, bump no generation, and keep
+        # the member list (and hence `rects`) alive.
+        union.subtract_rect(Rect(1, 5, 3, 7))
+        assert union.generation == g
+        assert union._xs == xs_before
+        assert union._slabs == slabs_before
+        assert union.rects == (Rect(0, 0, 4, 2),)
+
+    def test_noop_subtract_on_frozen_union_still_raises(self):
+        union = incremental([Rect(0, 0, 4, 2)]).freeze()
+        with pytest.raises(GeometryError):
+            union.subtract_rect(Rect(1, 5, 3, 7))
+
+
 class TestPersistence:
     def test_clone_is_isolated(self):
         base = SlabUnion().insert_rect(Rect(0, 0, 4, 4))

@@ -10,6 +10,7 @@ increasing arrival rates, both by DES and by the M/M/c closed form.
 import numpy as np
 
 from repro.broadcast import OnAirClient
+from repro.errors import ExperimentError
 from repro.experiments import format_table
 from repro.geometry import Point, Rect
 from repro.ondemand import OnDemandServer, mmc_wait_time
@@ -67,7 +68,10 @@ def run():
         env.process(arrivals(env))
         env.run()
         sim_latency = float(np.mean([a.latency for a in sink])) if sink else 0.0
-        model_wait = mmc_wait_time(rate, service_rate, CHANNELS)
+        try:
+            model_wait = mmc_wait_time(rate, service_rate, CHANNELS)
+        except ExperimentError:  # unstable: no stationary wait exists
+            model_wait = float("inf")
         model_latency = (
             model_wait + mean_service if model_wait != float("inf") else float("inf")
         )

@@ -12,6 +12,7 @@ Run:  python examples/ondemand_vs_broadcast.py
 import numpy as np
 
 from repro.broadcast import OnAirClient
+from repro.errors import ExperimentError
 from repro.geometry import Point, Rect
 from repro.ondemand import OnDemandServer, mmc_wait_time
 from repro.sim import Environment, Resource
@@ -57,7 +58,10 @@ def main() -> None:
         env.process(arrivals(env))
         env.run()
         latency = np.mean([a.latency for a in sink])
-        model = mmc_wait_time(rate, 1.0 / service, 4)
+        try:
+            model = mmc_wait_time(rate, 1.0 / service, 4)
+        except ExperimentError:  # unstable: no stationary wait exists
+            model = float("inf")
         model_text = "unstable" if model == float("inf") else f"{model + service:.2f}"
         marker = "  <-- past saturation" if model == float("inf") else ""
         print(f"{rate:10d} | measured {latency:7.2f}   M/M/c {model_text}{marker}")

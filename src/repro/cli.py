@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli profile --queries 500 --top 15
     python -m repro.cli profile --baseline BENCH_PR6.json --max-regression 0.25
     python -m repro.cli profile --kind churn --queries 4000
+    python -m repro.cli serve --region suburbia --scale 0.02 --port 7007
+    python -m repro.cli load --spawn --count 200 --connections 4 \
+        --out BENCH_PR8.json
 
 The CSV written by ``figure`` has one row per (region, x, series) —
 see :mod:`repro.experiments.export`.  ``--trace PATH`` (on ``figure``,
@@ -23,7 +26,13 @@ differential-oracle campaigns of :mod:`repro.check` (README
 ``profile`` cProfiles a configurable workload and prints the top-N
 hotspots; with ``--baseline`` it doubles as the perf-smoke gate,
 exiting non-zero when the profiled wall time regresses past the
-allowance (DESIGN.md "Performance architecture").
+allowance (DESIGN.md "Performance architecture").  ``serve`` runs the
+asyncio base-station server of :mod:`repro.serve` until interrupted;
+``load`` replays a seeded workload against it (``--spawn`` starts an
+in-process server on an ephemeral port first) and reports achieved
+QPS, latency percentiles, and shed counts — with ``--baseline`` it is
+the serving-layer perf gate, exiting non-zero when achieved QPS drops
+past the allowance.
 """
 
 from __future__ import annotations
@@ -311,6 +320,109 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed fractional wall-time increase over the baseline",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio base-station server until interrupted",
+    )
+    serve.add_argument("--region", choices=sorted(REGIONS), default="suburbia")
+    serve.add_argument("--scale", type=float, default=0.02)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument("--max-inflight", type=int, default=8)
+    serve.add_argument(
+        "--max-wait",
+        type=float,
+        default=2.0,
+        help="shed when the live M/M/1 wait estimate exceeds this",
+    )
+    serve.add_argument("--idle-timeout", type=float, default=60.0)
+    serve.add_argument(
+        "--tick-interval",
+        type=float,
+        default=1.0,
+        help="standing-query tick period in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--service-delay",
+        type=float,
+        default=0.0,
+        help="artificial per-request delay (overload experiments)",
+    )
+    serve.add_argument(
+        "--warmup", type=int, default=0, help="cache-warming queries at boot"
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one JSONL span trace per connection here",
+    )
+
+    load = sub.add_parser(
+        "load",
+        help="replay a seeded workload against a server and measure it",
+    )
+    load.add_argument("--region", choices=sorted(REGIONS), default="suburbia")
+    load.add_argument("--scale", type=float, default=0.02)
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="server port (required unless --spawn)",
+    )
+    load.add_argument(
+        "--spawn",
+        action="store_true",
+        help="start an in-process server on an ephemeral port first",
+    )
+    load.add_argument("--kind", choices=("knn", "window"), default="knn")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--count", type=int, default=200)
+    load.add_argument("--connections", type=int, default=4)
+    load.add_argument(
+        "--qps",
+        type=float,
+        default=None,
+        help="target offered QPS (default: as fast as possible)",
+    )
+    load.add_argument(
+        "--lockstep",
+        action="store_true",
+        help="one query at a time in event order (determinism mode)",
+    )
+    load.add_argument(
+        "--ignore-cap",
+        action="store_true",
+        help="ignore the server's advertised in-flight cap (provoke SHED)",
+    )
+    load.add_argument(
+        "--expect-clean",
+        action="store_true",
+        help="exit non-zero if anything was shed or errored",
+    )
+    load.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as one JSON document",
+    )
+    load.add_argument("--out", default=None, help="optional JSON output path")
+    load.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed load report to compare achieved QPS against",
+    )
+    load.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.5,
+        help="allowed fractional achieved-QPS drop below the baseline",
     )
 
     check = sub.add_parser(
@@ -754,6 +866,189 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_inflight=args.max_inflight,
+        max_wait_s=args.max_wait,
+        idle_timeout=args.idle_timeout,
+        tick_interval=args.tick_interval,
+        service_delay=args.service_delay,
+        warmup_queries=args.warmup,
+        trace_dir=args.trace_dir,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import BaseStationServer
+
+    params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+
+    async def run() -> None:
+        server = BaseStationServer(
+            params, seed=args.seed, config=_serve_config_from_args(args)
+        )
+        await server.start()
+        print(
+            f"serving {args.region} (scale {args.scale:g}, seed {args.seed})"
+            f" on {args.host}:{server.port}"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            counters = server.snapshot()
+            if counters:
+                print("counters:", json.dumps(counters, sort_keys=True))
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import BaseStationServer, ServeConfig, run_load
+
+    if not args.spawn and args.port is None:
+        print("load: --port is required without --spawn", file=sys.stderr)
+        return 2
+    params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+    kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
+
+    async def run():
+        server = None
+        port = args.port
+        if args.spawn:
+            server = BaseStationServer(
+                params, seed=args.seed, config=ServeConfig(host=args.host)
+            )
+            await server.start()
+            port = server.port
+        try:
+            report = await run_load(
+                params,
+                port,
+                host=args.host,
+                kind=kind,
+                seed=args.seed,
+                count=args.count,
+                connections=args.connections,
+                qps=args.qps,
+                lockstep=args.lockstep,
+                respect_cap=not args.ignore_cap,
+            )
+        finally:
+            if server is not None:
+                await server.stop()
+        return report
+
+    report = asyncio.run(run())
+    document: dict = {
+        "parameters": {
+            "region": args.region,
+            "area_scale": args.scale,
+            "kind": args.kind,
+            "seed": args.seed,
+            "count": args.count,
+            "connections": args.connections,
+            "qps": args.qps,
+            "lockstep": args.lockstep,
+            "spawned": args.spawn,
+        },
+    }
+    document.update(report.to_dict())
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        workload_keys = (
+            "region", "area_scale", "kind", "seed", "count", "connections",
+        )
+        mismatched = {
+            key: (baseline["parameters"].get(key), document["parameters"][key])
+            for key in workload_keys
+            if baseline["parameters"].get(key) != document["parameters"][key]
+        }
+        if mismatched:
+            print(
+                f"baseline {args.baseline} measures a different workload:"
+                f" {mismatched}",
+                file=sys.stderr,
+            )
+            return 2
+        base_qps = baseline["achieved_qps"]
+        floor = base_qps * (1.0 - args.max_regression)
+        document["baseline"] = {
+            "path": args.baseline,
+            "achieved_qps": base_qps,
+            "floor_qps": floor,
+        }
+        if report.achieved_qps < floor:
+            status = 1
+
+    text = json.dumps(document, indent=2)
+    if args.json:
+        print(text)
+    else:
+        lat = report.latency_s
+        print(
+            f"{report.count} {report.kind} queries over"
+            f" {report.connections} connection(s)"
+            f"{' lockstep' if report.lockstep else ''}:"
+            f" {report.achieved_qps:.0f} q/s achieved"
+            f" ({report.answered} answered, {report.shed} shed,"
+            f" {report.errors} errors)"
+        )
+        print(
+            f"  latency p50 {lat['p50'] * 1e3:.2f} ms,"
+            f" p95 {lat['p95'] * 1e3:.2f} ms,"
+            f" p99 {lat['p99'] * 1e3:.2f} ms,"
+            f" max {lat['max'] * 1e3:.2f} ms"
+        )
+        if report.shed_reasons:
+            print(f"  shed reasons: {report.shed_reasons}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.baseline:
+        verdict = document["baseline"]
+        if status:
+            print(
+                f"PERF REGRESSION: {report.achieved_qps:.0f} q/s <"
+                f" {verdict['floor_qps']:.0f} q/s floor"
+                f" ({verdict['achieved_qps']:.0f} q/s baseline"
+                f" - {args.max_regression:.0%})"
+            )
+        else:
+            print(
+                f"perf ok: {report.achieved_qps:.0f} q/s within"
+                f" {verdict['floor_qps']:.0f} q/s floor"
+                f" ({verdict['achieved_qps']:.0f} q/s baseline"
+                f" - {args.max_regression:.0%})"
+            )
+    if args.expect_clean and not report.clean:
+        print(
+            f"NOT CLEAN: {report.shed} shed, {report.errors} errors"
+            f" (reasons: {report.shed_reasons})",
+            file=sys.stderr,
+        )
+        return 1
+    return status
+
+
 def cmd_trace_summary(args: argparse.Namespace) -> int:
     spans, _metrics = load_trace(args.path)
     summary = summarize_spans(spans)
@@ -784,6 +1079,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace-summary": cmd_trace_summary,
         "check": cmd_check,
         "profile": cmd_profile,
+        "serve": cmd_serve,
+        "load": cmd_load,
     }
     return handlers[args.command](args)
 

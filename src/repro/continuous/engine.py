@@ -162,6 +162,30 @@ class ContinuousMonitor:
             sim.hosts[query.host_id].standing[query.query_id] = query
 
     # ------------------------------------------------------------------
+    def add_query(self, query: StandingQuery) -> None:
+        """Register a standing query on a live monitor.
+
+        The serving layer registers queries as sessions arrive instead
+        of handing the monitor a fixed set up front; the query joins
+        the next tick.
+        """
+        if any(q.query_id == query.query_id for q in self.queries):
+            raise ExperimentError(
+                f"duplicate standing query id {query.query_id}"
+            )
+        self.queries.append(query)
+        self.sim.hosts[query.host_id].standing[query.query_id] = query
+
+    def remove_query(self, query_id: int) -> StandingQuery:
+        """Deregister a standing query (e.g. its session disconnected)."""
+        for i, query in enumerate(self.queries):
+            if query.query_id == query_id:
+                del self.queries[i]
+                self.sim.hosts[query.host_id].standing.pop(query_id, None)
+                return query
+        raise ExperimentError(f"unknown standing query id {query_id}")
+
+    # ------------------------------------------------------------------
     def tick(self, t: float) -> dict[int, tuple[POI, ...]]:
         """Re-evaluate every standing query at time ``t``.
 

@@ -41,3 +41,7 @@ class ExperimentError(ReproError):
 
 class FaultError(ReproError):
     """Invalid fault-injection configuration or channel-model misuse."""
+
+
+class ServeError(ReproError):
+    """Serving-layer failure: framing, session, or admission misuse."""

@@ -83,8 +83,15 @@ class ChannelModel:
 
         The delay is exponential with mean ``delay_scale``; callers
         compare the arrival against the request's deadline.  Only
-        meaningful (and only drawn) when a deadline is configured.
+        meaningful — and only drawn — when a deadline is configured:
+        a draw on the no-deadline path would silently shift every
+        later fault decision, so the contract is enforced here rather
+        than trusted to each call site.
         """
+        if not self.has_deadline:
+            raise FaultError(
+                "response_arrival drawn without a configured deadline"
+            )
         return issued_at + float(self.rng.exponential(self.config.delay_scale))
 
     @property
@@ -93,10 +100,21 @@ class ChannelModel:
         return math.isfinite(self.config.peer_timeout)
 
     def backoff_delay(self, attempt: int) -> float:
-        """Exponential-backoff wait before retry ``attempt`` (1-based)."""
+        """Exponential-backoff wait before retry ``attempt`` (1-based).
+
+        The doubling is capped: by ``max_backoff`` when set, else by
+        ``peer_timeout`` when a deadline is configured — waiting longer
+        than the deadline the retry is racing can only stall the query.
+        """
         if attempt < 1:
             raise FaultError(f"attempt must be >= 1, got {attempt}")
-        return self.config.backoff * (2.0 ** (attempt - 1))
+        delay = self.config.backoff * (2.0 ** (attempt - 1))
+        ceiling = self.config.max_backoff
+        if ceiling is None and self.has_deadline:
+            ceiling = self.config.peer_timeout
+        if ceiling is not None:
+            delay = min(delay, ceiling)
+        return delay
 
     # ------------------------------------------------------------------
     # Broadcast faults

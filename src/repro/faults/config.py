@@ -30,6 +30,10 @@ class FaultConfig:
       waiting ``backoff * 2^(attempt-1)`` seconds before attempt
       ``attempt``; every retry is one more request on the air and one
       more round trip of latency;
+    * ``max_backoff`` — ceiling on one backoff wait.  ``None`` (the
+      default) caps at ``peer_timeout`` when a deadline is configured:
+      a retry loop must never wait longer than the deadline it is
+      racing, or heavy loss stalls queries instead of failing fast;
     * ``bucket_loss_rate`` — probability that one broadcast data
       bucket is corrupted in flight (defaults to ``loss_rate``); the
       client detects the loss and re-tunes at the next index segment
@@ -45,6 +49,7 @@ class FaultConfig:
     delay_scale: float = 0.02
     retries: int = 1
     backoff: float = 0.05
+    max_backoff: float | None = None
     bucket_loss_rate: float | None = None
     max_retunes: int = 4
     seed: int = 0
@@ -68,6 +73,10 @@ class FaultConfig:
             raise FaultError(f"retries must be >= 0, got {self.retries}")
         if self.backoff < 0:
             raise FaultError(f"backoff must be >= 0, got {self.backoff}")
+        if self.max_backoff is not None and self.max_backoff <= 0:
+            raise FaultError(
+                f"max_backoff must be positive, got {self.max_backoff}"
+            )
         if self.max_retunes < 1:
             raise FaultError(f"max_retunes must be >= 1, got {self.max_retunes}")
 

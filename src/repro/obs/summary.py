@@ -79,11 +79,25 @@ def _walk(node: dict, summary: TraceSummary, depth: int) -> None:
     stats.count += 1
     stats.wall_ms += float(node.get("wall_ms", 0.0))
     attributes = node.get("attributes") or {}
-    sim_s = float(attributes.get("sim_s", 0.0))
-    stats.sim_s += sim_s
-    if depth > 0:
-        # Root spans carry the recorded total, not a phase share.
-        summary.phase_sim_s += sim_s
+    if name == "query":
+        # A query tree is accounted wherever it sits: as a root in a
+        # simulation trace, or nested under a ``serve.request`` root
+        # in a per-connection serving-layer trace.  Either way the
+        # query node carries the recorded total, not a phase share.
+        summary.queries += 1
+        summary.recorded_access_latency_s += float(
+            attributes.get("access_latency", 0.0)
+        )
+        resolution = attributes.get("resolution")
+        if resolution is not None:
+            summary.resolutions[resolution] = (
+                summary.resolutions.get(resolution, 0) + 1
+            )
+    else:
+        sim_s = float(attributes.get("sim_s", 0.0))
+        stats.sim_s += sim_s
+        if depth > 0:
+            summary.phase_sim_s += sim_s
     for child in node.get("children", ()):
         _walk(child, summary, depth + 1)
 
@@ -93,17 +107,6 @@ def summarize_spans(spans: list[dict]) -> TraceSummary:
     summary = TraceSummary()
     for root in spans:
         _walk(root, summary, depth=0)
-        if root.get("name") == "query":
-            summary.queries += 1
-            attributes = root.get("attributes") or {}
-            summary.recorded_access_latency_s += float(
-                attributes.get("access_latency", 0.0)
-            )
-            resolution = attributes.get("resolution")
-            if resolution is not None:
-                summary.resolutions[resolution] = (
-                    summary.resolutions.get(resolution, 0) + 1
-                )
     return summary
 
 

@@ -100,9 +100,19 @@ def erlang_b(offered_load: float, servers: int) -> float:
     ``B(0) = 1``, ``B(n) = a·B(n-1) / (n + a·B(n-1))``.  Every term
     stays in ``[0, 1]``, so unlike the textbook ``a^c / c!`` ratio it
     neither overflows nor loses precision for large ``c``.
+
+    Degenerate inputs (negative or non-finite load, ``servers < 1``)
+    raise :class:`~repro.errors.ExperimentError`: the serving layer's
+    admission control feeds *measured* rates in here, and a silent
+    nonsense probability would turn into a silent nonsense shed
+    decision.
     """
-    if offered_load < 0 or servers < 0:
-        raise ExperimentError("invalid Erlang B parameters")
+    if not math.isfinite(offered_load) or offered_load < 0:
+        raise ExperimentError(
+            f"offered load must be finite and >= 0, got {offered_load}"
+        )
+    if servers < 1:
+        raise ExperimentError(f"servers must be >= 1, got {servers}")
     blocking = 1.0
     for n in range(1, servers + 1):
         blocking = offered_load * blocking / (n + offered_load * blocking)
@@ -112,20 +122,36 @@ def erlang_b(offered_load: float, servers: int) -> float:
 def mmc_wait_time(arrival_rate: float, service_rate: float, servers: int) -> float:
     """Mean M/M/c waiting time (Erlang C), in the same time unit.
 
-    Returns ``inf`` when the system is unstable (ρ >= 1) — the
-    "does not scale" regime the paper warns about.  The waiting
-    probability is derived from :func:`erlang_b`: computing the
-    ``a^c / c!`` terms directly overflows ``float`` near ``c ≈ 170``
-    even at moderate loads.
+    Raises :class:`~repro.errors.ExperimentError` for degenerate
+    inputs (negative/non-finite rates, ``service_rate <= 0``,
+    ``servers < 1``) **and** for unstable queues (offered load
+    ``a = λ/μ >= c``): there the stationary wait does not exist, and a
+    caller measuring live rates — the serving layer's admission
+    control — must treat the condition explicitly (shed) rather than
+    propagate a meaningless number.  The waiting probability is
+    derived from :func:`erlang_b`: computing the ``a^c / c!`` terms
+    directly overflows ``float`` near ``c ≈ 170`` even at moderate
+    loads.
     """
-    if arrival_rate < 0 or service_rate <= 0 or servers < 1:
-        raise ExperimentError("invalid M/M/c parameters")
+    if not math.isfinite(arrival_rate) or arrival_rate < 0:
+        raise ExperimentError(
+            f"arrival rate must be finite and >= 0, got {arrival_rate}"
+        )
+    if not math.isfinite(service_rate) or service_rate <= 0:
+        raise ExperimentError(
+            f"service rate must be finite and > 0, got {service_rate}"
+        )
+    if servers < 1:
+        raise ExperimentError(f"servers must be >= 1, got {servers}")
     if arrival_rate == 0:
         return 0.0
     a = arrival_rate / service_rate  # offered load (Erlangs)
     rho = a / servers
     if rho >= 1.0:
-        return math.inf
+        raise ExperimentError(
+            f"unstable M/M/c queue: offered load {a:.3g} Erlangs"
+            f" >= {servers} server(s) (rho = {rho:.3g})"
+        )
     # Erlang C from Erlang B: C = c·B / (c − a·(1 − B)).
     blocking = erlang_b(a, servers)
     p_wait = servers * blocking / (servers - a * (1.0 - blocking))

@@ -1,0 +1,184 @@
+"""The framed wire protocol between base station and mobile clients.
+
+A frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding one object with a ``type``
+field.  Six types exist:
+
+========  =========  ====================================================
+type      direction  meaning
+========  =========  ====================================================
+HELLO     both       session open: the client introduces itself, the
+                     server answers with the session id and its limits
+QUERY     c -> s     one spatial query (kNN or window) or a standing
+                     registration (``standing: true``)
+UPDATE    c -> s     location report; no reply (fire-and-forget)
+ANSWER    s -> c     a query answer: POI ids, plan kind, latencies
+ERROR     s -> c     a refused frame or a failed request
+SHED      s -> c     admission control refused the request (queue full,
+                     per-client cap, or overload estimate)
+========  =========  ====================================================
+
+Framing errors — truncated length prefix, oversized frame, mid-frame
+disconnect, bytes that are not a JSON object — raise
+:class:`FrameError`; they mean the stream can no longer be trusted and
+the connection must close.  A *well-formed* frame with an unknown type
+or bad fields is answered with an ERROR frame and the connection stays
+up, so one buggy request never kills a session.
+
+JSON (not msgpack) keeps the protocol dependency-free and greppable;
+the length prefix makes it trivially re-framable from any language.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from ..errors import ServeError
+
+__all__ = [
+    "FrameError",
+    "HEADER",
+    "MAX_FRAME",
+    "MESSAGE_TYPES",
+    "MSG_ANSWER",
+    "MSG_ERROR",
+    "MSG_HELLO",
+    "MSG_QUERY",
+    "MSG_SHED",
+    "MSG_UPDATE",
+    "PROTOCOL_VERSION",
+    "answer_message",
+    "decode_payload",
+    "encode_frame",
+    "error_message",
+    "read_frame",
+    "shed_message",
+]
+
+PROTOCOL_VERSION = 1
+
+HEADER = struct.Struct(">I")
+
+# Generous for answers (a few hundred POI ids) yet small enough that a
+# hostile length prefix cannot balloon one connection's buffer.
+MAX_FRAME = 256 * 1024
+
+MSG_HELLO = "HELLO"
+MSG_QUERY = "QUERY"
+MSG_UPDATE = "UPDATE"
+MSG_ANSWER = "ANSWER"
+MSG_ERROR = "ERROR"
+MSG_SHED = "SHED"
+
+MESSAGE_TYPES = frozenset(
+    {MSG_HELLO, MSG_QUERY, MSG_UPDATE, MSG_ANSWER, MSG_ERROR, MSG_SHED}
+)
+
+
+class FrameError(ServeError):
+    """The byte stream violated the framing contract; close it."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One message -> length-prefixed bytes ready for a transport."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Frame payload -> message dict; the ``type`` must be a string."""
+    try:
+        message = json.loads(payload)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    if not isinstance(message.get("type"), str):
+        raise FrameError("frame payload is missing a string 'type' field")
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Anything else that cuts the stream short — a truncated length
+    prefix, a length past ``max_frame``, a disconnect mid-payload —
+    raises :class:`FrameError`.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"truncated length prefix ({len(exc.partial)} of {HEADER.size}"
+            " bytes)"
+        ) from exc
+    (length,) = HEADER.unpack(header)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > max_frame:
+        raise FrameError(
+            f"declared frame of {length} bytes exceeds limit ({max_frame})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"disconnect mid-frame ({len(exc.partial)} of {length} bytes)"
+        ) from exc
+    return decode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Server-side reply constructors
+# ----------------------------------------------------------------------
+def answer_message(
+    request_id: Any,
+    poi_ids: list[int],
+    plan: str,
+    latency_s: float,
+    tuning_packets: int,
+    **extra: Any,
+) -> dict[str, Any]:
+    message: dict[str, Any] = {
+        "type": MSG_ANSWER,
+        "id": request_id,
+        "poi_ids": poi_ids,
+        "plan": plan,
+        "latency_s": latency_s,
+        "tuning_packets": tuning_packets,
+    }
+    message.update(extra)
+    return message
+
+
+def error_message(
+    error: str, request_id: Any = None, code: str = "bad-request"
+) -> dict[str, Any]:
+    message: dict[str, Any] = {"type": MSG_ERROR, "error": error, "code": code}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
+
+
+def shed_message(
+    request_id: Any, reason: str, queue_depth: int
+) -> dict[str, Any]:
+    return {
+        "type": MSG_SHED,
+        "id": request_id,
+        "reason": reason,
+        "queue_depth": queue_depth,
+    }

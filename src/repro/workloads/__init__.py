@@ -10,7 +10,7 @@ from .params import (
     scaled_parameters,
 )
 from .poi import clustered_pois, generate_pois, poisson_poi_field
-from .queries import QueryEvent, QueryKind, QueryWorkload
+from .queries import QueryEvent, QueryKind, QueryWorkload, seeded_events
 
 __all__ = [
     "ALL_REGIONS",
@@ -26,4 +26,5 @@ __all__ = [
     "generate_pois",
     "poisson_poi_field",
     "scaled_parameters",
+    "seeded_events",
 ]

@@ -12,6 +12,7 @@ normal-distributed distance from the host in a uniform direction
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from enum import Enum
@@ -59,6 +60,29 @@ class QueryEvent:
         clipped = window.intersection(bounds)
         assert clipped is not None
         return clipped
+
+
+def seeded_events(
+    params: ParameterSet,
+    kind: QueryKind,
+    seed: int,
+    count: int,
+    start_time: float = 0.0,
+) -> list[QueryEvent]:
+    """Materialise ``count`` workload events from a dedicated stream.
+
+    The RNG is derived from ``seed`` alone (stream key
+    ``(seed, 0x5E12E)``), never from a :class:`Simulation`'s world
+    RNG, so the *same* event list can be replayed against an
+    in-process simulation and over the wire against a base-station
+    server and both worlds stay bit-identical.  This is the contract
+    the serving layer's differential test leans on.
+    """
+    if count < 1:
+        raise ExperimentError(f"need at least one event, got {count}")
+    rng = np.random.default_rng((seed, 0x5E12E))
+    workload = QueryWorkload(params, kind, rng, start_time=start_time)
+    return list(itertools.islice(workload, count))
 
 
 class QueryWorkload:

@@ -126,6 +126,57 @@ class TestChannelModel:
         with pytest.raises(FaultError):
             model.backoff_delay(0)
 
+    def test_backoff_capped_at_peer_timeout(self):
+        """Regression: the doubling used to run away past any
+        configured deadline, so high-attempt retries waited longer
+        than the timeout they were racing."""
+        cfg = FaultConfig(backoff=0.1, peer_timeout=0.35, retries=8)
+        model = ChannelModel(cfg, tx_range=1.0)
+        assert model.backoff_delay(1) == pytest.approx(0.1)
+        assert model.backoff_delay(2) == pytest.approx(0.2)
+        assert model.backoff_delay(3) == pytest.approx(0.35)
+        for attempt in range(3, 40):
+            assert model.backoff_delay(attempt) <= cfg.peer_timeout
+
+    def test_backoff_capped_at_explicit_max_backoff(self):
+        # max_backoff wins over the peer_timeout default, and also
+        # applies when no deadline is configured at all.
+        with_deadline = ChannelModel(
+            FaultConfig(backoff=0.1, peer_timeout=5.0, max_backoff=0.25),
+            tx_range=1.0,
+        )
+        assert with_deadline.backoff_delay(4) == pytest.approx(0.25)
+        without_deadline = ChannelModel(
+            FaultConfig(backoff=0.1, max_backoff=0.15), tx_range=1.0
+        )
+        assert without_deadline.backoff_delay(1) == pytest.approx(0.1)
+        assert without_deadline.backoff_delay(10) == pytest.approx(0.15)
+
+    def test_max_backoff_validated(self):
+        with pytest.raises(FaultError):
+            FaultConfig(max_backoff=0.0)
+        with pytest.raises(FaultError):
+            FaultConfig(max_backoff=-1.0)
+
+    def test_response_arrival_requires_deadline(self):
+        """The docstring contract — the exponential delay is only
+        drawn when a deadline is configured — is now enforced, and a
+        refused draw consumes nothing from the decision stream."""
+        cfg = FaultConfig(loss_rate=0.4, churn_rate=0.1, seed=7)
+        model = ChannelModel(cfg, tx_range=1.0)
+        reference = ChannelModel(cfg, tx_range=1.0)
+        decisions = []
+        for i in range(120):
+            if i % 7 == 0:
+                with pytest.raises(FaultError):
+                    model.response_arrival(float(i))
+            decisions.append((model.link_lost(0.3), model.peer_departed()))
+        expected = [
+            (reference.link_lost(0.3), reference.peer_departed())
+            for _ in range(120)
+        ]
+        assert decisions == expected
+
     def test_tx_range_validated(self):
         with pytest.raises(FaultError):
             ChannelModel(FaultConfig(), tx_range=0.0)
@@ -182,6 +233,25 @@ class TestOptIn:
             QueryKind.KNN, 50, 120
         )
         assert a.records == b.records
+
+    def test_no_deadline_run_never_draws_response_delay(self):
+        """Determinism pin for the response_arrival contract: with no
+        deadline configured the delay distribution must be irrelevant
+        — and since response_arrival now raises on the no-deadline
+        path, a single stray draw anywhere in the pipeline would crash
+        this run rather than silently skew the fault stream."""
+        records = []
+        for delay_scale in (0.02, 50.0):
+            cfg = FaultConfig(
+                loss_rate=0.3, churn_rate=0.1, retries=2,
+                delay_scale=delay_scale, seed=3,
+            )
+            records.append(
+                make_sim(seed=9, fault_config=cfg)
+                .run_workload(QueryKind.KNN, 50, 120)
+                .records
+            )
+        assert records[0] == records[1]
 
     def test_faults_do_not_perturb_workload(self):
         """The fault RNG is independent: same queries, same hosts."""

@@ -90,13 +90,26 @@ class TestMMC:
             mmc_wait_time(1, 0, 1)
         with pytest.raises(ExperimentError):
             mmc_wait_time(1, 1, 0)
+        with pytest.raises(ExperimentError):
+            mmc_wait_time(math.nan, 1, 1)
+        with pytest.raises(ExperimentError):
+            mmc_wait_time(1, math.inf, 1)
+        with pytest.raises(ExperimentError):
+            mmc_wait_time(1, -2, 1)
 
     def test_zero_load(self):
         assert mmc_wait_time(0, 1, 3) == 0.0
 
-    def test_unstable_system_is_infinite(self):
-        assert mmc_wait_time(10, 1, 4) == math.inf
-        assert mmc_wait_time(4, 1, 4) == math.inf  # rho == 1
+    def test_unstable_system_raises(self):
+        """An unstable queue has no stationary wait: admission control
+        measuring live rates must see a typed error, not a silent
+        non-answer it would compare against a wait budget."""
+        with pytest.raises(ExperimentError, match="unstable"):
+            mmc_wait_time(10, 1, 4)
+        with pytest.raises(ExperimentError, match="unstable"):
+            mmc_wait_time(4, 1, 4)  # rho == 1 exactly
+        # Just inside the stable region still answers.
+        assert math.isfinite(mmc_wait_time(3.999, 1, 4))
 
     def test_mm1_closed_form(self):
         # M/M/1: W_q = rho / (mu - lambda).
@@ -149,7 +162,16 @@ class TestMMC:
         assert erlang_b(1.0, 1) == pytest.approx(0.5)
         assert erlang_b(2.0, 2) == pytest.approx(0.4)
         assert erlang_b(0.0, 10) == 0.0
-        assert erlang_b(5.0, 0) == 1.0
+
+    def test_erlang_b_degenerate_inputs_raise(self):
+        with pytest.raises(ExperimentError):
+            erlang_b(5.0, 0)
+        with pytest.raises(ExperimentError):
+            erlang_b(-1.0, 4)
+        with pytest.raises(ExperimentError):
+            erlang_b(math.inf, 4)
+        with pytest.raises(ExperimentError):
+            erlang_b(math.nan, 4)
 
     def test_erlang_b_monotone_in_servers(self):
         blockings = [erlang_b(10.0, c) for c in range(1, 40)]

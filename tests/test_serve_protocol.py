@@ -1,0 +1,295 @@
+"""Wire-protocol framing: round-trips, malformed frames, survival.
+
+The first half exercises the codec against an in-memory StreamReader
+(no sockets); the second half throws hostile byte streams at a live
+:class:`BaseStationServer` and asserts the contract from the protocol
+module's docstring: framing errors close *that* connection (after a
+best-effort ERROR), well-formed nonsense gets an ERROR and the session
+stays up, and the accept loop survives everything.
+"""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.serve import (
+    BaseStationServer,
+    FrameError,
+    MAX_FRAME,
+    MSG_ERROR,
+    MSG_HELLO,
+    ServeConfig,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.protocol import decode_payload
+from repro.workloads import SYNTHETIC_SUBURBIA, scaled_parameters
+
+PARAMS = scaled_parameters(SYNTHETIC_SUBURBIA, area_scale=0.02)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+# ----------------------------------------------------------------------
+# Codec: pure framing, no sockets
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_round_trip(self):
+        message = {"type": "QUERY", "kind": "knn", "k": 5, "id": 17}
+        frame = encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == message
+
+        async def scenario():
+            return await read_frame(reader_with(frame))
+
+        assert run(scenario()) == message
+
+    def test_back_to_back_frames_then_clean_eof(self):
+        messages = [{"type": "HELLO"}, {"type": "QUERY", "k": 1}]
+        data = b"".join(encode_frame(m) for m in messages)
+
+        async def scenario():
+            reader = reader_with(data)
+            seen = []
+            while (message := await read_frame(reader)) is not None:
+                seen.append(message)
+            return seen
+
+        assert run(scenario()) == messages
+
+    def test_truncated_length_prefix(self):
+        async def scenario():
+            await read_frame(reader_with(b"\x00\x00"))
+
+        with pytest.raises(FrameError, match="truncated length prefix"):
+            run(scenario())
+
+    def test_zero_length_frame(self):
+        async def scenario():
+            await read_frame(reader_with(struct.pack(">I", 0)))
+
+        with pytest.raises(FrameError, match="zero-length"):
+            run(scenario())
+
+    def test_oversized_declared_length(self):
+        async def scenario():
+            await read_frame(reader_with(struct.pack(">I", MAX_FRAME + 1)))
+
+        with pytest.raises(FrameError, match="exceeds limit"):
+            run(scenario())
+
+    def test_disconnect_mid_frame(self):
+        async def scenario():
+            await read_frame(
+                reader_with(struct.pack(">I", 100) + b"only a little")
+            )
+
+        with pytest.raises(FrameError, match="disconnect mid-frame"):
+            run(scenario())
+
+    def test_payload_not_json(self):
+        payload = b"\xff\xfe not json"
+        data = struct.pack(">I", len(payload)) + payload
+
+        async def scenario():
+            await read_frame(reader_with(data))
+
+        with pytest.raises(FrameError, match="not valid JSON"):
+            run(scenario())
+
+    def test_payload_not_an_object(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        data = struct.pack(">I", len(payload)) + payload
+
+        async def scenario():
+            await read_frame(reader_with(data))
+
+        with pytest.raises(FrameError, match="JSON object"):
+            run(scenario())
+
+    def test_payload_missing_type(self):
+        payload = json.dumps({"k": 5}).encode()
+        data = struct.pack(">I", len(payload)) + payload
+
+        async def scenario():
+            await read_frame(reader_with(data))
+
+        with pytest.raises(FrameError, match="'type'"):
+            run(scenario())
+
+    def test_encode_rejects_oversized_message(self):
+        with pytest.raises(FrameError, match="exceeds MAX_FRAME"):
+            encode_frame({"type": "ANSWER", "blob": "x" * (MAX_FRAME + 1)})
+
+
+# ----------------------------------------------------------------------
+# A live server vs hostile byte streams
+# ----------------------------------------------------------------------
+async def started_server(**config_kwargs) -> BaseStationServer:
+    config_kwargs.setdefault("tick_interval", 0.0)
+    server = BaseStationServer(
+        PARAMS, seed=3, config=ServeConfig(**config_kwargs)
+    )
+    await server.start()
+    return server
+
+
+async def hello(port: int):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(encode_frame({"type": MSG_HELLO, "client_id": "t"}))
+    await writer.drain()
+    reply = await read_frame(reader)
+    assert reply["type"] == MSG_HELLO
+    return reader, writer, reply
+
+
+async def query_ok(port: int) -> bool:
+    """One full handshake + kNN query; True if it gets an ANSWER."""
+    reader, writer, _ = await hello(port)
+    writer.write(
+        encode_frame({"type": "QUERY", "kind": "knn", "k": 2, "id": 1})
+    )
+    await writer.drain()
+    reply = await read_frame(reader)
+    writer.close()
+    await writer.wait_closed()
+    return reply is not None and reply["type"] == "ANSWER"
+
+
+class TestServerFraming:
+    def test_unknown_type_gets_error_and_session_survives(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, _ = await hello(server.port)
+                writer.write(encode_frame({"type": "BOGUS", "id": 9}))
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error["type"] == MSG_ERROR
+                assert error["code"] == "unknown-type"
+                assert error["id"] == 9
+                # Same connection still answers real queries.
+                writer.write(
+                    encode_frame(
+                        {"type": "QUERY", "kind": "knn", "k": 2, "id": 10}
+                    )
+                )
+                await writer.drain()
+                answer = await read_frame(reader)
+                assert answer["type"] == "ANSWER"
+                assert answer["id"] == 10
+                assert server.snapshot()["serve.protocol_errors"] == 1.0
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_garbage_payload_gets_error_then_close(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, _ = await hello(server.port)
+                payload = b"this is not json at all \xff"
+                writer.write(struct.pack(">I", len(payload)) + payload)
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error["type"] == MSG_ERROR
+                assert error["code"] == "framing"
+                # The stream is untrusted now: server closes it.
+                assert await read_frame(reader) is None
+                assert server.snapshot()["serve.frame_errors"] == 1.0
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_oversized_frame_closes_connection(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, _ = await hello(server.port)
+                writer.write(struct.pack(">I", MAX_FRAME + 1))
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error["type"] == MSG_ERROR
+                assert await read_frame(reader) is None
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_first_frame_must_be_hello(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    encode_frame({"type": "QUERY", "kind": "knn", "k": 1})
+                )
+                await writer.drain()
+                error = await read_frame(reader)
+                assert error["type"] == MSG_ERROR
+                assert error["code"] == "protocol"
+                assert await read_frame(reader) is None
+                writer.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_accept_loop_survives_mid_frame_disconnect(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                # Declare a 512-byte frame, send 3 bytes, vanish.
+                _, writer, _ = await hello(server.port)
+                writer.write(struct.pack(">I", 512) + b"abc")
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                # A fresh connection is served normally afterwards.
+                assert await query_ok(server.port)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_truncated_prefix_then_next_connection_served(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                _, writer, _ = await hello(server.port)
+                writer.write(b"\x00\x00")  # half a length prefix
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                assert await query_ok(server.port)
+                for _ in range(100):  # handlers clean up asynchronously
+                    if not server.sessions:
+                        break
+                    await asyncio.sleep(0.01)
+                assert not server.sessions
+            finally:
+                await server.stop()
+
+        run(scenario())

@@ -2,17 +2,21 @@
 # (one-shot fig10 plus the continuous figc sweep) -> a fixed-seed
 # differential-oracle smoke (faults off and on, plus the continuous
 # A/B legs) -> a serving-layer smoke (in-process server, 50 seeded
-# queries over the wire, zero sheds/errors, clean shutdown) -> perf
-# smokes (profiled 500-query kNN run vs BENCH_PR6.json, the
-# standing-query A/B vs BENCH_PR7.json, and achieved serving QPS vs
-# BENCH_PR8.json).
+# queries over the wire, zero sheds/errors, clean shutdown) -> a
+# sharded-world smoke (lockstep differential vs single-process plus a
+# process-backend CLI run) -> perf smokes (profiled 500-query kNN run
+# vs BENCH_PR6.json, the standing-query A/B vs BENCH_PR7.json,
+# achieved serving QPS vs BENCH_PR8.json, and the full-Table-3
+# sharded hosts/sec floor vs BENCH_PR9.json).
 #
-# `make bench-baseline` re-records BENCH_PR6.json, BENCH_PR7.json, and
-# BENCH_PR8.json on the current machine; commit them whenever the hot
-# path (or the hardware the CI runs on) changes, or the perf-smoke
-# allowances go stale.  The BENCH_PR8 gate is deliberately loose
-# (60%): achieved QPS over loopback sockets is noisier than profiled
-# wall time.
+# `make bench-baseline` re-records BENCH_PR6.json, BENCH_PR7.json,
+# BENCH_PR8.json, and BENCH_PR9.json on the current machine; commit
+# them whenever the hot path (or the hardware the CI runs on)
+# changes, or the perf-smoke allowances go stale.  The BENCH_PR8 gate
+# is deliberately loose (60%): achieved QPS over loopback sockets is
+# noisier than profiled wall time.  The BENCH_PR9 gate floors
+# *throughput* (hosts/sec) at 50% of the committed run: full-scale
+# worker processes share the machine with whatever else CI runs.
 #
 # ruff and mypy are optional (the CI image may not ship them); their
 # targets detect absence and skip with a notice instead of failing, so
@@ -21,10 +25,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test smoke oracle-smoke serve-smoke perf-smoke \
-	bench-baseline
+.PHONY: check lint test smoke oracle-smoke serve-smoke shard-smoke \
+	perf-smoke bench-baseline
 
-check: lint test smoke oracle-smoke serve-smoke perf-smoke
+check: lint test smoke oracle-smoke serve-smoke shard-smoke perf-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -66,6 +70,13 @@ serve-smoke:
 	$(PYTHON) -m repro.cli load --spawn --count 50 --connections 2 \
 		--lockstep --expect-clean
 
+shard-smoke:
+	@echo ">> sharded lockstep differential (bit-identity vs single-process)"
+	$(PYTHON) -m pytest -x -q tests/test_shard_differential.py
+	@echo ">> sharded CLI smoke (4 shards, process backend)"
+	$(PYTHON) -m repro.cli profile --kind sharded --region riverside \
+		--scale 0.1 --queries 200 --shards 4 --top 0 > /dev/null
+
 perf-smoke:
 	@echo ">> perf smoke (profiled 500-query kNN run vs BENCH_PR6.json)"
 	$(PYTHON) -m repro.cli profile --repeat 2 \
@@ -77,6 +88,10 @@ perf-smoke:
 	@echo ">> perf smoke (achieved serving QPS vs BENCH_PR8.json)"
 	$(PYTHON) -m repro.cli load --spawn --count 200 --connections 4 \
 		--baseline BENCH_PR8.json --max-regression 0.6 > /dev/null
+	@echo ">> perf smoke (full-Table-3 sharded hosts/sec vs BENCH_PR9.json)"
+	$(PYTHON) -m repro.cli profile --kind sharded --region la \
+		--scale 1.0 --queries 2000 --shards 16 --top 0 \
+		--baseline BENCH_PR9.json --max-regression 0.5 > /dev/null
 
 bench-baseline:
 	@echo ">> recording profiled-workload baseline -> BENCH_PR6.json"
@@ -87,6 +102,10 @@ bench-baseline:
 	@echo ">> recording serving-layer baseline -> BENCH_PR8.json"
 	$(PYTHON) -m repro.cli load --spawn --count 200 --connections 4 \
 		--out BENCH_PR8.json
+	@echo ">> recording full-Table-3 sharded baseline -> BENCH_PR9.json"
+	$(PYTHON) -m repro.cli profile --kind sharded --region la \
+		--scale 1.0 --queries 2000 --shards 16 --top 10 \
+		--out BENCH_PR9.json
 	@echo ">> cache-churn microbenchmark (informational)"
 	$(PYTHON) -m repro.cli profile --kind churn --queries 4000 \
 		--repeat 3 --top 10

@@ -165,6 +165,10 @@ class POICache:
         # (generation, payload) memos for the share/pois accessors.
         self._pois_memo: tuple[int, tuple[POI, ...]] | None = None
         self._share_memo: tuple[int, tuple[Rect, ...], tuple[POI, ...]] | None = None
+        # Memoised frozen export (see :meth:`frozen_snapshot`).
+        self._snapshot_memo: (
+            tuple[int, tuple[Rect, ...], tuple[POI, ...], SlabUnion] | None
+        ) = None
 
     # ------------------------------------------------------------------
     def _drop_slot_of(self, poi_id: int) -> None:
@@ -476,6 +480,35 @@ class POICache:
             memo = (generation, tuple(self.region_rects), tuple(self.pois))
             self._share_memo = memo
         return list(memo[1]), list(memo[2])
+
+    def frozen_snapshot(
+        self,
+    ) -> tuple[int, tuple[Rect, ...], tuple[POI, ...], SlabUnion]:
+        """An immutable export of the shareable cache state.
+
+        Returns ``(generation, region_rects, pois, frozen_union)``
+        where ``frozen_union`` is a frozen copy-on-write clone of the
+        slab mirror (:attr:`region_union`): the clone shares every
+        interval tuple with the live mirror, so exporting costs
+        O(slabs) — and nothing at all while the generation is
+        unchanged, since the whole snapshot is memoised per content
+        generation.  The frozen clone stays valid forever (the live
+        mirror mutates *its own* structure, never the shared tuples),
+        which is what lets shard halos mirror a peer's verified area
+        without re-merging rectangle lists per broadcast cycle.
+        """
+        memo = self._snapshot_memo
+        generation = self.generation
+        if memo is None or memo[0] != generation:
+            regions, pois = self.share()
+            memo = (
+                generation,
+                tuple(regions),
+                tuple(pois),
+                self.region_union.clone().freeze(),
+            )
+            self._snapshot_memo = memo
+        return memo
 
     def pois_in(self, rect: Rect) -> list[POI]:
         """Cached POIs inside a rectangle (sorted by id)."""

@@ -216,6 +216,28 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--measure", type=int, default=400)
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument("--out", default=None, help="optional CSV output path")
+    fig.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run every sweep point on a sharded world of N spatial"
+        " tiles (full-scale Table 3 runs; incompatible with faults,"
+        " tracing, and figc)",
+    )
+    fig.add_argument(
+        "--exchange",
+        choices=("event", "cycle"),
+        default="cycle",
+        help="halo exchange cadence for --shards (event = lockstep"
+        " bit-identical, cycle = batched per refresh epoch)",
+    )
+    fig.add_argument(
+        "--shard-backend",
+        choices=("auto", "process", "inprocess"),
+        default="auto",
+        help="where shard workers run for --shards",
+    )
     add_fault_args(fig)
     add_trace_arg(fig)
 
@@ -278,16 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--region", choices=sorted(REGIONS), default="la")
     prof.add_argument("--scale", type=float, default=0.1)
     prof.add_argument(
-        "--kind", choices=("knn", "window", "churn", "continuous"),
+        "--kind", choices=("knn", "window", "churn", "continuous", "sharded"),
         default="knn",
         help="profiled workload: a query kind, 'churn' for the"
         " synthetic cache insert/evict microbenchmark (--queries"
-        " becomes the op count; --region/--scale are ignored), or"
+        " becomes the op count; --region/--scale are ignored),"
         " 'continuous' for the standing-query A/B (--queries becomes"
-        " the standing-query count)",
+        " the standing-query count), or 'sharded' for a kNN workload"
+        " on the sharded simulator (reports hosts/sec)",
     )
     prof.add_argument("--queries", type=int, default=500)
     prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for --kind sharded",
+    )
+    prof.add_argument(
+        "--exchange",
+        choices=("event", "cycle"),
+        default="cycle",
+        help="halo exchange cadence for --kind sharded",
+    )
+    prof.add_argument(
+        "--shard-backend",
+        choices=("auto", "process", "inprocess"),
+        default="auto",
+        help="where shard workers run for --kind sharded",
+    )
     prof.add_argument(
         "--repeat",
         type=int,
@@ -481,6 +522,21 @@ def cmd_figure(args: argparse.Namespace) -> int:
     fault_config = fault_config_from_args(args)
     if fault_config is not None:
         fault_kwargs["fault_config"] = fault_config
+    shard_kwargs = {}
+    if args.shards is not None:
+        if args.name == "figc":
+            print("--shards does not apply to figc (continuous"
+                  " engine is not sharded)", file=sys.stderr)
+            return 2
+        if fault_config is not None or args.trace:
+            print("--shards is incompatible with fault injection and"
+                  " --trace (see ShardedSimulation)", file=sys.stderr)
+            return 2
+        shard_kwargs = {
+            "shards": args.shards,
+            "exchange": args.exchange,
+            "shard_backend": args.shard_backend,
+        }
     trace = _TraceSession(args.trace)
     panels = runner(
         area_scale=args.scale,
@@ -488,6 +544,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         measure_queries=args.measure,
         seed=args.seed,
         **fault_kwargs,
+        **shard_kwargs,
         **trace.sim_kwargs,
     )
     for panel in panels:
@@ -628,6 +685,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     best_wall = math.inf
     best_profiler: cProfile.Profile | None = None
     continuous_report: dict | None = None
+    sharded_stats: dict | None = None
     if args.kind == "churn":
         from .experiments.bench import bench_cache_churn
 
@@ -654,6 +712,42 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 best_wall = wall
                 best_profiler = profiler
                 continuous_report = result
+    elif args.kind == "sharded":
+        from .shard import ShardedSimulation
+
+        params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
+        for _ in range(max(1, args.repeat)):
+            # A fresh world per repeat, same as the single-process
+            # kinds.  With the process backend only the coordinator is
+            # under the profiler; shard workers run at full speed, so
+            # hosts/sec stays an honest throughput number.
+            with ShardedSimulation(
+                params,
+                seed=args.seed,
+                shards=args.shards,
+                exchange=args.exchange,
+                backend=args.shard_backend,
+            ) as sim:
+                profiler = cProfile.Profile()
+                start = time.perf_counter()
+                profiler.runcall(
+                    sim.run_workload, QueryKind.KNN, 0, args.queries
+                )
+                wall = time.perf_counter() - start
+                if wall < best_wall:
+                    best_wall = wall
+                    best_profiler = profiler
+                    sharded_stats = {
+                        "mh_number": params.mh_number,
+                        "sim_seconds": sim._now,
+                        "shards": args.shards,
+                        "exchange": args.exchange,
+                        "backend": sim.backend,
+                        # Host-seconds of simulated mobility served per
+                        # wall-clock second: population x simulated
+                        # span / wall.
+                        "hosts_per_sec": params.mh_number * sim._now / wall,
+                    }
     else:
         params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
         kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
@@ -703,12 +797,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     }
     if continuous_report is not None:
         report["continuous"] = continuous_report
+    if sharded_stats is not None:
+        report["parameters"]["shards"] = sharded_stats["shards"]
+        report["parameters"]["exchange"] = sharded_stats["exchange"]
+        report["sharded"] = sharded_stats
 
     status = 0
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
-        workload_keys = ("region", "area_scale", "kind", "queries", "seed")
+        workload_keys = ["region", "area_scale", "kind", "queries", "seed"]
+        if args.kind == "sharded":
+            workload_keys += ["shards", "exchange"]
         mismatched = {
             key: (baseline["parameters"].get(key), report["parameters"][key])
             for key in workload_keys
@@ -729,6 +829,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "limit_s": limit,
         }
         status = 1 if best_wall > limit else 0
+        if sharded_stats is not None and "sharded" in baseline:
+            # Throughput floor: the sharded profile must keep serving
+            # at least (1 - max_regression) of the committed hosts/sec.
+            base_rate = baseline["sharded"]["hosts_per_sec"]
+            floor = base_rate * (1.0 - args.max_regression)
+            report["baseline"]["hosts_per_sec"] = base_rate
+            report["baseline"]["hosts_per_sec_floor"] = floor
+            if sharded_stats["hosts_per_sec"] < floor:
+                status = 1
 
     document = json.dumps(report, indent=2)
     if args.json:
@@ -742,6 +851,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 f"{p['queries']} standing queries (A/B) on {p['region']}"
                 f" (scale {p['area_scale']:g})"
             )
+        elif p["kind"] == "sharded":
+            workload = (
+                f"{p['queries']} knn queries on {p['region']}"
+                f" (scale {p['area_scale']:g}, {p['shards']} shards,"
+                f" {p['exchange']} exchange)"
+            )
         else:
             workload = (
                 f"{p['queries']} {p['kind']} queries on {p['region']}"
@@ -752,6 +867,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f" {best_wall:.3f} s profiled wall,"
             f" {report['total_calls']:,} calls"
         )
+        if sharded_stats is not None:
+            print(
+                f"  {sharded_stats['hosts_per_sec']:,.0f} host-seconds/s"
+                f" ({sharded_stats['mh_number']:,} hosts x"
+                f" {sharded_stats['sim_seconds']:.1f} sim-s /"
+                f" {best_wall:.3f} s wall, backend"
+                f" {sharded_stats['backend']})"
+            )
         if continuous_report is not None:
             print(
                 f"  broadcast access ratio"

@@ -28,7 +28,7 @@ from ..faults import P2PFaultStats
 from ..geometry import Circle, Point, Rect, RectUnion
 from ..model import DEFAULT_CATEGORY, POI
 from ..obs import NO_TRACER
-from ..p2p import ShareRequest, ShareResponse
+from ..p2p import SharePayload, ShareRequest, ShareResponse
 from ..workloads import QueryKind
 from .metrics import QueryRecord
 
@@ -113,6 +113,57 @@ def _pois_per_region(
     return out
 
 
+class HaloHost:
+    """A read-only mirror of a host owned by a neighbouring shard.
+
+    Presents the :meth:`MobileHost.share_response` surface, built from
+    the owner's exported :class:`~repro.p2p.SharePayload` so a query on
+    this shard collects the mirrored host's contribution exactly as the
+    single-process simulator would collect the real host's.  The
+    response is rebuilt only when a payload with a new content
+    generation arrives; the payload's frozen slab union rides along
+    untouched (mirrors never mutate — overheard results destined for
+    the real host are routed to its owner shard instead).
+    """
+
+    __slots__ = ("host_id", "payload", "_response", "_response_generation")
+
+    def __init__(self, payload: SharePayload):
+        self.host_id = payload.host_id
+        self.payload = payload
+        self._response: ShareResponse | None = None
+        self._response_generation: int | None = None
+
+    def update(self, payload: SharePayload) -> None:
+        if payload.host_id != self.host_id:
+            raise ValueError(
+                f"payload for host {payload.host_id} applied to mirror"
+                f" of host {self.host_id}"
+            )
+        self.payload = payload
+
+    def share_response(
+        self, request: ShareRequest | None = None
+    ) -> ShareResponse | None:
+        """Answer exactly as the mirrored host would (``None`` if empty)."""
+        if request is not None and request.category != DEFAULT_CATEGORY:
+            return None
+        payload = self.payload
+        if payload.generation != self._response_generation:
+            self._response = (
+                None
+                if payload.is_empty
+                else ShareResponse(
+                    self.host_id,
+                    payload.regions,
+                    payload.pois,
+                    payload.generation,
+                )
+            )
+            self._response_generation = payload.generation
+        return self._response
+
+
 class MobileHost:
     """One vehicle: an id plus its cooperative cache."""
 
@@ -155,6 +206,24 @@ class MobileHost:
             )
             self._share_generation = generation
         return self._share_memo
+
+    def share_payload(self) -> SharePayload:
+        """Export this host's share state for cross-shard mirroring.
+
+        Same content contract as :meth:`share_response` (and the same
+        per-generation memoisation, via the cache's frozen snapshot),
+        plus the frozen copy-on-write slab union — everything a
+        :class:`HaloHost` mirror on a neighbouring shard needs to
+        answer share requests exactly as this host would.
+        """
+        generation, regions, pois, union = self.cache.frozen_snapshot()
+        return SharePayload(
+            host_id=self.host_id,
+            generation=generation,
+            regions=regions,
+            pois=pois,
+            region_union=union,
+        )
 
     # ------------------------------------------------------------------
     def execute_knn(

@@ -68,7 +68,26 @@ def _execute_point(point: SweepPoint) -> PointResult:
     params = scaled_parameters(
         point.base, area_scale=point.area_scale, **point.overrides
     )
-    sim = Simulation(params, seed=point.seed, **point.sim_kwargs)
+    sim_kwargs = dict(point.sim_kwargs)
+    shards = sim_kwargs.pop("shards", None)
+    exchange = sim_kwargs.pop("exchange", "cycle")
+    shard_backend = sim_kwargs.pop("shard_backend", "auto")
+    if shards is not None:
+        from ..shard import ShardedSimulation
+
+        with ShardedSimulation(
+            params,
+            seed=point.seed,
+            shards=shards,
+            exchange=exchange,
+            backend=shard_backend,
+            **sim_kwargs,
+        ) as sim:
+            collector = sim.run_workload(
+                point.kind, point.warmup_queries, point.measure_queries
+            )
+        return PointResult(point, collector, time.perf_counter() - start)
+    sim = Simulation(params, seed=point.seed, **sim_kwargs)
     collector = sim.run_workload(
         point.kind, point.warmup_queries, point.measure_queries
     )

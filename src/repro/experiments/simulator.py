@@ -42,6 +42,27 @@ from .station import BaseStation
 
 SECONDS_PER_HOUR = 3600.0
 
+# Position refreshes quantise simulated time into epochs of
+# ``position_refresh_interval``.  Event times are accumulated float
+# sums, so an event nominally *on* an epoch boundary can arrive a few
+# ulps early; without an explicit epsilon the staleness test
+# ``t - last >= interval`` would then defer the refresh and two
+# observers of the "same" boundary instant could see positions from
+# different refresh epochs.  The epsilon makes the boundary rule
+# explicit: anything within REFRESH_EPSILON of the interval is due.
+REFRESH_EPSILON = 1e-9
+
+
+def refresh_due(t: float, last_refresh: float, interval: float) -> bool:
+    """True when a snapshot taken at ``last_refresh`` is stale at ``t``.
+
+    Shared by :class:`Simulation` and the sharded coordinator
+    (:mod:`repro.shard`) so both quantise time into the *identical*
+    refresh epochs — the determinism contract requires shard ticks and
+    single-process refreshes to agree on every boundary.
+    """
+    return t - last_refresh >= interval - REFRESH_EPSILON
+
 
 class Simulation:
     """A fully wired simulated world for one parameter set."""
@@ -179,7 +200,7 @@ class Simulation:
         self._last_refresh = t
 
     def _maybe_refresh(self, t: float) -> None:
-        if t - self._last_refresh >= self.position_refresh_interval:
+        if refresh_due(t, self._last_refresh, self.position_refresh_interval):
             self._refresh_positions(t)
 
     def host_position(self, host_id: int) -> Point:

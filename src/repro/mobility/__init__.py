@@ -3,6 +3,7 @@ road-network-constrained trajectories."""
 
 from .fleet import WaypointFleet
 from .roadnet import GridRoadNetwork, RoadTrajectory
+from .shardfleet import ShardFleetSoA
 from .waypoint import Leg, RandomWaypoint
 
 __all__ = [
@@ -10,5 +11,6 @@ __all__ = [
     "Leg",
     "RandomWaypoint",
     "RoadTrajectory",
+    "ShardFleetSoA",
     "WaypointFleet",
 ]

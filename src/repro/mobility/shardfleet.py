@@ -1,0 +1,117 @@
+"""Shard-local fleet state as structure-of-arrays.
+
+A spatial shard owns a contiguous *subset* of the fleet: its own hosts
+plus a halo of hosts owned by neighbouring shards.  The coordinator
+broadcasts one position/heading snapshot per refresh epoch; this class
+holds that snapshot in parallel arrays (the same layout
+:class:`~repro.mobility.WaypointFleet` uses for the whole fleet) keyed
+by *global* host id, together with the last observed cache content
+generation per host — the stamp the halo-exchange protocol uses to
+decide which share payloads actually need to cross a boundary.
+
+Rows are sorted by ascending global id.  That ordering is load-bearing:
+the shard-local :class:`~repro.p2p.PeerNetwork` built over these arrays
+then enumerates disc neighbours in exactly the order the full-fleet
+grid would (cell-scan order, ascending id within a cell), which the
+sharded simulator's bit-identity contract requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MobilityError
+from ..geometry import Point
+
+
+class ShardFleetSoA:
+    """One shard's per-epoch fleet snapshot (owned + halo hosts)."""
+
+    __slots__ = (
+        "ids",
+        "xs",
+        "ys",
+        "hx",
+        "hy",
+        "owned_mask",
+        "generations",
+        "_id_to_local",
+    )
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        hx: np.ndarray,
+        hy: np.ndarray,
+        owned_mask: np.ndarray,
+    ):
+        ids = np.asarray(ids, dtype=np.int64)
+        arrays = [np.asarray(a, dtype=np.float64) for a in (xs, ys, hx, hy)]
+        owned_mask = np.asarray(owned_mask, dtype=bool)
+        for a in (*arrays, owned_mask):
+            if a.shape != ids.shape or a.ndim != 1:
+                raise MobilityError("shard fleet arrays must be parallel 1-D")
+        if ids.size > 1 and not bool(np.all(np.diff(ids) > 0)):
+            raise MobilityError("shard fleet ids must be strictly ascending")
+        self.ids = ids
+        self.xs, self.ys, self.hx, self.hy = arrays
+        self.owned_mask = owned_mask
+        # Last cache content generation observed per host: the owner
+        # shard stamps its hosts after every mutation, halo rows are
+        # stamped from incoming share payloads.  -1 = never observed.
+        self.generations = np.full(ids.shape, -1, dtype=np.int64)
+        self._id_to_local = {
+            int(gid): local for local, gid in enumerate(ids.tolist())
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def owned_ids(self) -> np.ndarray:
+        return self.ids[self.owned_mask]
+
+    @property
+    def halo_ids(self) -> np.ndarray:
+        return self.ids[~self.owned_mask]
+
+    def __contains__(self, gid: int) -> bool:
+        return int(gid) in self._id_to_local
+
+    def local_of(self, gid: int) -> int:
+        """Local row index of a global host id."""
+        try:
+            return self._id_to_local[int(gid)]
+        except KeyError:
+            raise MobilityError(f"host {gid} not in this shard's snapshot")
+
+    def owns(self, gid: int) -> bool:
+        return bool(self.owned_mask[self.local_of(gid)])
+
+    def position_of(self, gid: int) -> Point:
+        local = self.local_of(gid)
+        return Point(float(self.xs[local]), float(self.ys[local]))
+
+    def heading_of(self, gid: int) -> tuple[float, float]:
+        local = self.local_of(gid)
+        return (float(self.hx[local]), float(self.hy[local]))
+
+    def generation_of(self, gid: int) -> int:
+        return int(self.generations[self.local_of(gid)])
+
+    def record_generation(self, gid: int, generation: int) -> None:
+        self.generations[self.local_of(gid)] = generation
+
+    def carry_generations_from(self, previous: "ShardFleetSoA") -> None:
+        """Copy forward the stamps of hosts that survive an epoch change."""
+        prev_map = previous._id_to_local
+        prev_gen = previous.generations
+        gens = self.generations
+        for local, gid in enumerate(self.ids.tolist()):
+            prev_local = prev_map.get(gid)
+            if prev_local is not None:
+                gens[local] = prev_gen[prev_local]

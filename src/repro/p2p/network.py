@@ -39,6 +39,18 @@ class PeerNetwork:
         # the observability registry is the single sink for traffic
         # accounting too.  None (the default) costs one comparison.
         self._counters = None
+        # Identity mapping for shard-local populations: ``None`` means
+        # positional (row i of the arrays IS host i, the single-process
+        # case); otherwise ``_ids[i]`` is the global id of local row i
+        # and every public method speaks global ids.  The rows must
+        # arrive sorted by ascending global id — combined with
+        # identical world ``bounds``/``cell_size`` this makes the
+        # shard-local grid's neighbour *order* (cell-scan order,
+        # ascending id within a cell) match the full-population grid
+        # restricted to the local subset, which the sharded simulator's
+        # determinism contract depends on.
+        self._ids: np.ndarray | None = None
+        self._id_to_local: dict[int, int] | None = None
 
     def attach_registry(self, registry) -> None:
         """Mirror the traffic counters into a repro.obs registry."""
@@ -48,8 +60,32 @@ class PeerNetwork:
             registry.counter("p2p.responses_received"),
         )
 
-    def update_positions(self, xs: np.ndarray, ys: np.ndarray) -> None:
-        """Refresh the connectivity snapshot from the mobility fleet."""
+    def update_positions(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ids: np.ndarray | None = None,
+    ) -> None:
+        """Refresh the connectivity snapshot from the mobility fleet.
+
+        ``ids`` switches the network into shard-local mode: the rows of
+        ``xs``/``ys`` describe an arbitrary subset of the fleet (owned
+        plus halo hosts) and ``ids[i]`` names row ``i``'s global host
+        id.  Ids must be strictly ascending (see ``__init__``).
+        """
+        if ids is None:
+            self._ids = None
+            self._id_to_local = None
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != xs.shape:
+                raise ProtocolError("ids must parallel the position arrays")
+            if ids.size > 1 and not bool(np.all(np.diff(ids) > 0)):
+                raise ProtocolError("local host ids must be strictly ascending")
+            self._ids = ids
+            self._id_to_local = {
+                int(gid): local for local, gid in enumerate(ids.tolist())
+            }
         self._grid.rebuild(xs, ys)
 
     def peers_of(
@@ -64,6 +100,8 @@ class PeerNetwork:
         if self._grid.size == 0:
             raise ProtocolError("network queried before update_positions()")
         neighbours = self._grid.query_disc(position, self.tx_range)
+        if self._ids is not None:
+            neighbours = self._ids[neighbours]
         neighbours = neighbours[neighbours != host_id]
         if count_traffic:
             self.requests_sent += 1
@@ -101,6 +139,18 @@ class PeerNetwork:
         charged to ``requests_sent`` and its audience to
         ``peers_heard`` — only the hop-1 broadcast was counted before,
         under-reporting the flood's real cost on the air.
+
+        Duplicate audit (PR 9): a node sitting in the overlap of two
+        relays' discs is *discovered* twice but can never be counted
+        twice — every node is binned into exactly one grid cell
+        (``UniformGrid.rebuild`` assigns one cell id per point, clamped
+        at the world edge) and the ``visited`` set admits each id once
+        across all hop frontiers, so the returned id array is
+        duplicate-free and each node relays at most once.  What IS
+        double-counted, deliberately, is ``peers_heard``: a host inside
+        two rebroadcast discs hears both transmissions, which is the
+        physical on-air cost the tally measures.  The regression suite
+        pins both properties (``tests/test_p2p_multihop.py``).
         """
         if hops < 1:
             raise ProtocolError(f"hops must be >= 1, got {hops}")
@@ -108,8 +158,18 @@ class PeerNetwork:
         if hops == 1:
             return first
         xs, ys = self._grid.positions()
-        visited: set[int] = {host_id, *(int(i) for i in first)}
-        frontier = [int(i) for i in first]
+        # The BFS runs in *local row* space (identical to global ids in
+        # the positional, single-process case) and maps back at the
+        # end; frontier order — hence the relay traffic-charging order
+        # — follows discovery order either way.
+        if self._ids is None:
+            origin = host_id
+            frontier = [int(i) for i in first]
+        else:
+            id_to_local = self._id_to_local
+            origin = id_to_local.get(host_id, -1)
+            frontier = [id_to_local[int(g)] for g in first]
+        visited: set[int] = {origin, *frontier}
         for _ in range(hops - 1):
             next_frontier: list[int] = []
             for node in frontier:
@@ -130,8 +190,12 @@ class PeerNetwork:
             if not next_frontier:
                 break
             frontier = next_frontier
-        visited.discard(host_id)
-        return np.array(sorted(visited), dtype=np.int64)
+        visited.discard(origin)
+        if self._ids is None:
+            return np.array(sorted(visited), dtype=np.int64)
+        return np.array(
+            sorted(int(self._ids[node]) for node in visited), dtype=np.int64
+        )
 
     @property
     def host_count(self) -> int:

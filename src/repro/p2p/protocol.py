@@ -40,6 +40,32 @@ class ShareRequest:
 
 
 @dataclass(frozen=True, slots=True)
+class SharePayload:
+    """A host's exported share state, mirrored across shard boundaries.
+
+    This is what crosses a shard boundary once per broadcast cycle (or
+    per event in lockstep mode): the owner's verified-region rectangles
+    and cached POIs — the exact :class:`ShareResponse` content — plus
+    ``region_union``, the *frozen* copy-on-write
+    :class:`~repro.geometry.SlabUnion` snapshot of the owner's slab
+    mirror (see ``POICache.frozen_snapshot``).  ``generation`` stamps
+    the owner's cache content, so a mirror only needs replacing when
+    the stamp moves and downstream ``(peer_id, generation)`` memos stay
+    bit-compatible with a single-process run.
+    """
+
+    host_id: int
+    generation: int
+    regions: tuple[Rect, ...]
+    pois: tuple[POI, ...]
+    region_union: object = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.regions and not self.pois
+
+
+@dataclass(frozen=True, slots=True)
 class ShareResponse:
     """One peer's contribution: its VR rectangles and cached POIs.
 

@@ -1,0 +1,532 @@
+"""The sharded simulation coordinator.
+
+:class:`ShardedSimulation` is a drop-in for
+:class:`~repro.experiments.Simulation.run_workload` at full Table-3
+scale.  The coordinator owns everything random and replays the
+single-process RNG discipline *exactly* — one ``default_rng(seed)``
+consumed in the same order: POI generation, fleet initialisation, then
+workload event draws interleaved with fleet-refresh draws exactly as
+``Simulation.run_workload`` interleaves them.  Query execution itself
+never touches the world RNG (faults and responder subsampling are
+rejected in sharded mode), so the shard workers are RNG-free and the
+whole run is a deterministic function of ``(seed, shards, exchange)``.
+
+Two halo-exchange cadences:
+
+* ``exchange="event"`` — lockstep: after every event, overhear ops are
+  replayed on their owner shards and dirty share payloads re-mirrored
+  before the next event.  Bit-identical to the single-process
+  simulator (records, traffic tallies, final cache states) — the
+  differential suite pins this.  Runs in-process.
+* ``exchange="cycle"`` — scalable: events are batched per position-
+  refresh epoch and executed by all shards concurrently; cross-shard
+  cache effects (overheard adoptions, halo payload refreshes) land at
+  epoch boundaries.  Deterministic in (seed, shards), but halo cache
+  mirrors within an epoch are one epoch stale, so runs are *not*
+  bit-identical to single-process — the edge-effect benchmark
+  quantifies how little the recorded curves move.
+
+Backends: ``"process"`` runs each shard in its own worker process
+(persistent pipe RPC, graceful ``OSError`` fallback to in-process for
+sandboxes that cannot spawn — the ``SweepRunner`` discipline);
+``"inprocess"`` keeps every shard in the calling process.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..mobility import WaypointFleet
+from ..model import POI
+from ..p2p import SharePayload
+from ..workloads import ParameterSet, QueryKind, QueryWorkload, generate_pois
+from ..experiments.metrics import MetricsCollector
+from ..experiments.simulator import SECONDS_PER_HOUR, refresh_due
+from .grid import ShardGrid
+from .worker import EventOutcome, OverhearOp, ShardWorld, shard_worker_main
+
+
+class _InprocessShard:
+    """Direct-call backend: the shard world lives in this process."""
+
+    def __init__(self, config: dict):
+        self.world = ShardWorld(**config)
+        self._pending = None
+
+    def call(self, method: str, *args):
+        return getattr(self.world, method)(*args)
+
+    def send(self, method: str, *args) -> None:
+        self._pending = self.call(method, *args)
+
+    def recv(self):
+        pending, self._pending = self._pending, None
+        return pending
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """Pipe-RPC backend: the shard world lives in a worker process."""
+
+    def __init__(self, config: dict, ctx):
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=shard_worker_main, args=(child, config), daemon=True
+        )
+        self._proc.start()
+        child.close()
+        self._recv_checked()  # construction ack
+
+    def _recv_checked(self):
+        status, payload = self._conn.recv()
+        if status != "ok":
+            raise ExperimentError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def call(self, method: str, *args):
+        self.send(method, *args)
+        return self.recv()
+
+    def send(self, method: str, *args) -> None:
+        self._conn.send((method, args))
+
+    def recv(self):
+        return self._recv_checked()
+
+    def close(self) -> None:
+        try:
+            if self._proc.is_alive():
+                self._conn.send(None)
+                self._proc.join(timeout=5.0)
+        except (OSError, ValueError):
+            pass
+        finally:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._conn.close()
+
+
+class ShardedSimulation:
+    """A spatially sharded simulated world for one parameter set."""
+
+    def __init__(
+        self,
+        params: ParameterSet,
+        seed: int = 0,
+        shards: int = 4,
+        exchange: str = "cycle",
+        backend: str = "auto",
+        policy_factory=None,
+        accept_approximate: bool = True,
+        min_correctness: float = 0.5,
+        position_refresh_interval: float = 10.0,
+        p2p_latency: float = 0.05,
+        hilbert_order: int = 6,
+        bucket_capacity: int = 4,
+        entries_per_index_packet: int = 64,
+        m: int = 4,
+        packet_time: float = 0.1,
+        speed_range_mph: tuple[float, float] = (20.0, 60.0),
+        pause_range_s: tuple[float, float] = (0.0, 30.0),
+        cache_gossip: bool = True,
+        overhear: bool = True,
+        max_responders: int | None = None,
+        max_regions: int | None = None,
+        p2p_hops: int = 1,
+        enable_sharing: bool = True,
+        pois: Sequence[POI] | None = None,
+        fault_config=None,
+        tracer=None,
+        registry=None,
+    ):
+        if position_refresh_interval <= 0:
+            raise ExperimentError("position_refresh_interval must be positive")
+        if shards < 1:
+            raise ExperimentError(f"shard count must be >= 1, got {shards}")
+        if exchange not in ("event", "cycle"):
+            raise ExperimentError(
+                f"exchange must be 'event' or 'cycle', got {exchange!r}"
+            )
+        if backend not in ("auto", "process", "inprocess"):
+            raise ExperimentError(f"unknown shard backend {backend!r}")
+        if p2p_hops < 1:
+            raise ExperimentError(f"p2p_hops must be >= 1, got {p2p_hops}")
+        # Honest limitations, not silent degradations: these features
+        # draw from the world/channel RNG *during* query execution, in
+        # an order that depends on which shard runs which query — no
+        # shard decomposition can replay the single-process stream.
+        if fault_config is not None and getattr(fault_config, "enabled", False):
+            raise ExperimentError(
+                "sharded mode does not support fault injection: the"
+                " channel RNG draw order cannot be replicated across"
+                " shards (run single-process for fault studies)"
+            )
+        if max_responders is not None:
+            raise ExperimentError(
+                "sharded mode does not support max_responders: responder"
+                " subsampling draws from the world RNG mid-query"
+            )
+        if tracer is not None and getattr(tracer, "enabled", False):
+            raise ExperimentError(
+                "sharded mode does not support tracing: span trees"
+                " cannot cross shard worker processes"
+            )
+
+        self.params = params
+        self.shards = shards
+        self.exchange = exchange
+        self.position_refresh_interval = position_refresh_interval
+        self.p2p_hops = p2p_hops
+        self.registry = registry
+
+        # --- world RNG, consumed in Simulation.__init__ order --------
+        self.rng = np.random.default_rng(seed)
+        self.pois: list[POI] = (
+            list(pois)
+            if pois is not None
+            else generate_pois(params.bounds, params.poi_number, self.rng)
+        )
+        speed_mi_s = (
+            speed_range_mph[0] / SECONDS_PER_HOUR,
+            speed_range_mph[1] / SECONDS_PER_HOUR,
+        )
+        self.fleet = WaypointFleet(
+            params.mh_number,
+            params.bounds,
+            self.rng,
+            speed_range=speed_mi_s,
+            pause_range=pause_range_s,
+        )
+
+        self.grid = ShardGrid(
+            params.bounds, shards, halo_width=p2p_hops * params.tx_range_mi
+        )
+        worker_config = dict(
+            params=params,
+            pois=self.pois,
+            station_kwargs=dict(
+                hilbert_order=hilbert_order,
+                bucket_capacity=bucket_capacity,
+                entries_per_index_packet=entries_per_index_packet,
+                m=m,
+                packet_time=packet_time,
+            ),
+            accept_approximate=accept_approximate,
+            min_correctness=min_correctness,
+            p2p_latency=p2p_latency,
+            cache_gossip=cache_gossip,
+            overhear=overhear,
+            max_regions=max_regions,
+            p2p_hops=p2p_hops,
+            enable_sharing=enable_sharing,
+            policy_factory=policy_factory,
+        )
+        self.backend = self._resolve_backend(backend)
+        self._workers = self._spawn_workers(worker_config)
+
+        # Coordinator-side exchange bookkeeping.
+        self._owner: np.ndarray | None = None
+        self._halo: list[set[int]] = [set() for _ in range(self.grid.n)]
+        self._halo_pushed: list[dict[int, int]] = [
+            {} for _ in range(self.grid.n)
+        ]
+        self._payloads: dict[int, SharePayload] = {}
+        self._gen: dict[int, int] = {}
+        self._traffic_mirrored = (0, 0, 0)
+        self._now = 0.0
+        self._last_refresh = -math.inf
+        self._refresh_epoch(0.0)
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    def _resolve_backend(self, backend: str) -> str:
+        if self.exchange == "event":
+            # Lockstep exchange round-trips the coordinator after every
+            # event; process workers would serialise the whole object
+            # graph per event for no parallel gain.  Event mode exists
+            # for exactness (differential referee), so it stays
+            # in-process.
+            return "inprocess"
+        if backend == "auto":
+            return "process" if self.shards > 1 else "inprocess"
+        return backend
+
+    def _spawn_workers(self, config: dict) -> list:
+        workers: list = []
+        if self.backend == "process":
+            try:
+                ctx = multiprocessing.get_context()
+                for shard_id in range(self.grid.n):
+                    workers.append(
+                        _ProcessShard(dict(config, shard_id=shard_id), ctx)
+                    )
+                return workers
+            except OSError:
+                # Sandboxes that cannot spawn processes degrade to the
+                # in-process backend; cycle-mode results are identical
+                # by construction (same messages, same order).
+                for worker in workers:
+                    worker.close()
+                workers = []
+                self.backend = "inprocess"
+        for shard_id in range(self.grid.n):
+            workers.append(_InprocessShard(dict(config, shard_id=shard_id)))
+        return workers
+
+    def close(self) -> None:
+        """Shut down worker processes (idempotent)."""
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def _refresh_epoch(self, t: float) -> None:
+        """Advance the fleet and re-partition the world at time ``t``.
+
+        Mirrors ``Simulation._refresh_positions``: the fleet advance is
+        the only RNG consumer, then the position/heading snapshot is
+        broadcast — here sliced per shard (owned + halo rows) instead
+        of handed to one global grid.  Hosts whose tile changed migrate
+        (cache state travels with the MobileHost object).
+        """
+        self.fleet.advance_to(t)
+        xs, ys = self.fleet.positions()
+        hx, hy = self.fleet.headings()
+        owner = self.grid.owner_of(xs, ys)
+        workers = self._workers
+        if self._owner is not None:
+            moved = np.nonzero(owner != self._owner)[0]
+            if moved.size:
+                by_src: dict[int, list[int]] = defaultdict(list)
+                for gid in moved.tolist():
+                    by_src[int(self._owner[gid])].append(gid)
+                in_flight = []
+                for src in sorted(by_src):
+                    in_flight.extend(
+                        workers[src].call("take_hosts", by_src[src])
+                    )
+                by_dst: dict[int, list] = defaultdict(list)
+                for host in in_flight:
+                    by_dst[int(owner[host.host_id])].append(host)
+                for dst in sorted(by_dst):
+                    workers[dst].call("give_hosts", by_dst[dst])
+        new_halos: list[set[int]] = []
+        for shard_id, worker in enumerate(workers):
+            if self.grid.n == 1:
+                ids = np.arange(owner.size, dtype=np.int64)
+            else:
+                mask = self.grid.member_mask(shard_id, xs, ys)
+                ids = np.nonzero(mask)[0].astype(np.int64)
+            owned_mask = owner[ids] == shard_id
+            worker.send(
+                "begin_epoch",
+                t,
+                ids,
+                xs[ids],
+                ys[ids],
+                hx[ids],
+                hy[ids],
+                owned_mask,
+            )
+            new_halos.append(set(ids[~owned_mask].tolist()))
+        for worker in workers:
+            worker.recv()
+        self._owner = owner
+        for shard_id, pushed in enumerate(self._halo_pushed):
+            halo = new_halos[shard_id]
+            for gid in [g for g in pushed if g not in halo]:
+                del pushed[gid]
+        self._halo = new_halos
+        self._last_refresh = t
+        self._push_payloads()
+
+    def _note_dirty(self, dirty: Sequence[tuple[int, int]]) -> None:
+        for gid, generation in dirty:
+            self._gen[gid] = generation
+
+    def _push_payloads(self) -> None:
+        """Re-mirror every stale halo payload (pull from owners, push).
+
+        A host whose cache generation is still 0 has never cached
+        anything observable; its mirror is represented by absence
+        (an absent mirror answers share requests with silence, exactly
+        like an empty cache).
+        """
+        workers = self._workers
+        owner = self._owner
+        plan: list[tuple[int, int, int]] = []  # (shard, gid, generation)
+        need: dict[int, set[int]] = defaultdict(set)
+        for shard_id, halo in enumerate(self._halo):
+            pushed = self._halo_pushed[shard_id]
+            for gid in halo:
+                generation = self._gen.get(gid, 0)
+                if generation == 0 or pushed.get(gid) == generation:
+                    continue
+                plan.append((shard_id, gid, generation))
+                payload = self._payloads.get(gid)
+                if payload is None or payload.generation != generation:
+                    need[int(owner[gid])].add(gid)
+        for src in sorted(need):
+            gids = sorted(need[src])
+            known = [
+                self._payloads[g].generation if g in self._payloads else -1
+                for g in gids
+            ]
+            for payload in workers[src].call("export_payloads", gids, known):
+                self._payloads[payload.host_id] = payload
+                self._gen[payload.host_id] = payload.generation
+        by_shard: dict[int, list[SharePayload]] = defaultdict(list)
+        for shard_id, gid, generation in plan:
+            by_shard[shard_id].append(self._payloads[gid])
+            self._halo_pushed[shard_id][gid] = generation
+        for shard_id in sorted(by_shard):
+            workers[shard_id].call("set_halo_payloads", by_shard[shard_id])
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _apply_remote_ops(self, ops: Sequence[OverhearOp]) -> None:
+        if not ops:
+            return
+        owner = self._owner
+        by_dst: dict[int, list[OverhearOp]] = defaultdict(list)
+        for op in ops:
+            by_dst[int(owner[op.target])].append(op)
+        for dst in sorted(by_dst):
+            batch = sorted(
+                by_dst[dst], key=lambda op: (op.event_index, op.target)
+            )
+            self._note_dirty(self._workers[dst].call("apply_ops", batch))
+
+    def _execute_lockstep(self, event, index: int) -> EventOutcome:
+        shard_id = int(self._owner[event.host_id])
+        outcome = self._workers[shard_id].call("execute_event", event, index)
+        self._note_dirty(outcome.dirty)
+        self._apply_remote_ops(outcome.remote_ops)
+        self._push_payloads()
+        return outcome
+
+    def _flush_batches(
+        self, buffered: list[tuple[int, int, object]]
+    ) -> list[tuple[int, object]]:
+        """Run one epoch's buffered events on all shards concurrently."""
+        if not buffered:
+            return []
+        workers = self._workers
+        by_shard: dict[int, list[tuple[int, object]]] = defaultdict(list)
+        for shard_id, index, event in buffered:
+            by_shard[shard_id].append((index, event))
+        active = sorted(by_shard)
+        for shard_id in active:
+            workers[shard_id].send("execute_batch", by_shard[shard_id])
+        outcomes: list[EventOutcome] = []
+        for shard_id in active:
+            outcomes.extend(workers[shard_id].recv())
+        for outcome in outcomes:
+            self._note_dirty(outcome.dirty)
+        self._apply_remote_ops(
+            [op for outcome in outcomes for op in outcome.remote_ops]
+        )
+        return [(o.event_index, o.record) for o in outcomes]
+
+    # ------------------------------------------------------------------
+    # Workload runs
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        kind: QueryKind,
+        warmup_queries: int,
+        measure_queries: int,
+    ) -> MetricsCollector:
+        """Run a Poisson query stream; record after the warm-up.
+
+        Same contract as ``Simulation.run_workload``; in ``event``
+        exchange mode the returned collector's records are bit-equal.
+        """
+        if warmup_queries < 0 or measure_queries < 1:
+            raise ExperimentError("invalid warmup/measure query counts")
+        workload = QueryWorkload(
+            self.params, kind, self.rng, start_time=self._now
+        )
+        collector = MetricsCollector(registry=self.registry)
+        total = warmup_queries + measure_queries
+        lockstep = self.exchange == "event"
+        records: list[tuple[int, object]] = []
+        buffered: list[tuple[int, int, object]] = []
+        for index, event in enumerate(
+            event for _, event in zip(range(total), workload)
+        ):
+            if refresh_due(
+                event.time, self._last_refresh, self.position_refresh_interval
+            ):
+                records.extend(self._flush_batches(buffered))
+                buffered = []
+                self._refresh_epoch(event.time)
+            if lockstep:
+                outcome = self._execute_lockstep(event, index)
+                records.append((index, outcome.record))
+            else:
+                buffered.append(
+                    (int(self._owner[event.host_id]), index, event)
+                )
+            self._now = event.time
+        records.extend(self._flush_batches(buffered))
+        records.sort(key=lambda pair: pair[0])
+        if len(records) != total:
+            raise ExperimentError(
+                f"lost records: expected {total}, got {len(records)}"
+            )
+        for index, record in records:
+            if index >= warmup_queries:
+                collector.add(record)
+        self._mirror_traffic()
+        return collector
+
+    # ------------------------------------------------------------------
+    # Introspection / merging
+    # ------------------------------------------------------------------
+    def traffic_totals(self) -> tuple[int, int, int]:
+        """Fleet-wide (requests_sent, peers_heard, responses_received)."""
+        totals = [worker.call("traffic_totals") for worker in self._workers]
+        return (
+            sum(t[0] for t in totals),
+            sum(t[1] for t in totals),
+            sum(t[2] for t in totals),
+        )
+
+    def _mirror_traffic(self) -> None:
+        if self.registry is None:
+            return
+        totals = self.traffic_totals()
+        previous = self._traffic_mirrored
+        names = ("p2p.requests_sent", "p2p.peers_heard", "p2p.responses_received")
+        for name, now, before in zip(names, totals, previous):
+            self.registry.counter(name).inc(now - before)
+        self._traffic_mirrored = totals
+
+    def share_states(self) -> dict[int, tuple[int, tuple, tuple]]:
+        """Final cache fingerprint of every host (differential referee)."""
+        merged: dict[int, tuple[int, tuple, tuple]] = {}
+        for worker in self._workers:
+            merged.update(worker.call("share_states"))
+        return merged
+
+    def owned_counts(self) -> list[int]:
+        """Hosts per shard (diagnostics for balance checks)."""
+        return [worker.call("owned_count") for worker in self._workers]

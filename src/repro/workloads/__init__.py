@@ -7,6 +7,7 @@ from .params import (
     RIVERSIDE_COUNTY,
     SYNTHETIC_SUBURBIA,
     ParameterSet,
+    ScalingClampWarning,
     scaled_parameters,
 )
 from .poi import clustered_pois, generate_pois, poisson_poi_field
@@ -22,6 +23,7 @@ __all__ = [
     "QueryWorkload",
     "RIVERSIDE_COUNTY",
     "SYNTHETIC_SUBURBIA",
+    "ScalingClampWarning",
     "clustered_pois",
     "generate_pois",
     "poisson_poi_field",

@@ -16,12 +16,22 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from dataclasses import dataclass
 
 from ..errors import ExperimentError
 from ..geometry import Rect
 
 METERS_PER_MILE = 1609.344
+
+
+class ScalingClampWarning(UserWarning):
+    """A density-preserving rescale silently hit a parameter bound.
+
+    Raised as a *warning* (not an error) because the clamped world is
+    still simulable — but its curves are no longer comparable to other
+    scales, so validation sweeps must exclude the clamped points.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +49,13 @@ class ParameterSet:
     window_distance_mi: float  # Distance (mean MH-to-window-centre, miles)
     execution_hours: float  # Texecution
     area_side_mi: float = 20.0
+    # Fraction of the *requested* window percentage that survived
+    # rescaling: 1.0 for an unclamped world, < 1.0 when
+    # :func:`scaled_parameters` had to cap ``window_percent`` at 100 %
+    # of the shrunken side.  Clamped worlds run fine but their
+    # window-size curves are not comparable across scales, so
+    # edge-effect validation keys on :attr:`window_clamped`.
+    window_scale_effective: float = 1.0
 
     def __post_init__(self) -> None:
         if min(self.poi_number, self.mh_number, self.cache_size) < 1:
@@ -49,6 +66,16 @@ class ParameterSet:
             raise ExperimentError(f"{self.name}: invalid query parameters")
         if self.area_side_mi <= 0:
             raise ExperimentError(f"{self.name}: region side must be > 0")
+        if not (0 < self.window_scale_effective <= 1):
+            raise ExperimentError(
+                f"{self.name}: window_scale_effective must be in (0, 1],"
+                f" got {self.window_scale_effective}"
+            )
+
+    @property
+    def window_clamped(self) -> bool:
+        """True when rescaling capped the window percentage at 100 %."""
+        return self.window_scale_effective < 1.0
 
     # ------------------------------------------------------------------
     @property
@@ -172,7 +199,25 @@ def scaled_parameters(
         raise ExperimentError(f"area_scale must be in (0, 1], got {area_scale}")
     base = dataclasses.replace(base, **overrides) if overrides else base
     side = base.area_side_mi * math.sqrt(area_scale)
-    window_pct = min(100.0, base.window_percent / math.sqrt(area_scale))
+    window_pct_requested = base.window_percent / math.sqrt(area_scale)
+    window_pct = min(100.0, window_pct_requested)
+    # The clamp used to be silent: at small area_scale a "5 % window"
+    # re-expressed against the shrunken side can exceed the whole
+    # region, and quietly capping it distorts window-size figures —
+    # the capped point measures a *different* (smaller) window than
+    # its label claims.  Surface it loudly and stamp the parameter set
+    # so validation sweeps can exclude the point.
+    window_scale_effective = 1.0
+    if window_pct < window_pct_requested:
+        window_scale_effective = window_pct / window_pct_requested
+        warnings.warn(
+            f"{base.name}: area_scale={area_scale:g} clamps the window"
+            f" to 100% of the scaled side ({window_pct_requested:.1f}%"
+            f" requested); window-size curves at this point are not"
+            f" comparable across scales",
+            ScalingClampWarning,
+            stacklevel=2,
+        )
     return dataclasses.replace(
         base,
         name=f"{base.name} (x{area_scale:g} area)" if area_scale != 1 else base.name,
@@ -181,4 +226,5 @@ def scaled_parameters(
         query_rate_per_min=base.query_rate_per_min * area_scale,
         area_side_mi=side,
         window_percent=window_pct,
+        window_scale_effective=window_scale_effective,
     )

@@ -339,3 +339,33 @@ class TestWindowRecordCoverage:
                 assert record.covered_fraction_missing == 0.0
             else:
                 assert record.covered_fraction_missing > 0.0
+
+
+class TestRefreshEpoch:
+    """The refresh predicate is explicit and epsilon-guarded (PR 9).
+
+    Shard-tick boundaries reuse ``refresh_due`` so a batch boundary
+    can never observe positions from two refresh epochs: whatever
+    float the event time is, the predicate's verdict is shared by the
+    single-process simulator and the sharded coordinator.
+    """
+
+    def test_exact_interval_is_due_despite_float_noise(self):
+        from repro.experiments.simulator import refresh_due
+
+        # 0.1 * 3 != 0.3 in floats; the epsilon absorbs that.
+        t = 0.1 + 0.1 + 0.1
+        assert refresh_due(t, last_refresh=0.0, interval=0.3)
+        assert refresh_due(10.0, last_refresh=0.0, interval=10.0)
+        assert not refresh_due(9.999, last_refresh=0.0, interval=10.0)
+
+    def test_simulation_uses_the_shared_predicate(self):
+        from repro.experiments.simulator import REFRESH_EPSILON
+
+        sim = tiny_sim()
+        sim._last_refresh = 0.0
+        before = sim._last_refresh
+        sim._maybe_refresh(sim.position_refresh_interval - REFRESH_EPSILON / 2)
+        assert sim._last_refresh != before  # refreshed at the boundary
+        sim._maybe_refresh(sim._last_refresh + 1.0)  # well inside: no-op
+        assert sim._last_refresh != 1.0 + before

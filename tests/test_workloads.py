@@ -20,6 +20,7 @@ from repro.workloads import (
     clustered_pois,
     generate_pois,
     poisson_poi_field,
+    ScalingClampWarning,
     scaled_parameters,
 )
 
@@ -114,6 +115,24 @@ class TestScaling:
 
     def test_identity_scale(self):
         assert scaled_parameters(LA_CITY, area_scale=1.0) == LA_CITY
+
+    def test_clamp_surfaced_not_silent(self):
+        # window_percent=3 at area_scale 4e-4 wants 150% of the scaled
+        # side: the clamp must warn and stamp the effective scale.
+        with pytest.warns(ScalingClampWarning, match="clamps the window"):
+            scaled = scaled_parameters(LA_CITY, area_scale=4e-4)
+        assert scaled.window_percent == pytest.approx(100.0)
+        assert scaled.window_clamped
+        assert scaled.window_scale_effective == pytest.approx(100.0 / 150.0)
+
+    def test_unclamped_scale_is_quiet(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", ScalingClampWarning)
+            scaled = scaled_parameters(LA_CITY, area_scale=0.01)
+        assert not scaled.window_clamped
+        assert scaled.window_scale_effective == 1.0
 
     def test_invalid_scale(self):
         with pytest.raises(ExperimentError):

@@ -5,16 +5,18 @@
 # queries over the wire, zero sheds/errors, clean shutdown) -> a
 # sharded-world smoke (lockstep differential vs single-process plus a
 # process-backend CLI run) -> perf smokes (profiled 500-query kNN run
-# vs BENCH_PR6.json, the standing-query A/B vs BENCH_PR7.json,
-# achieved serving QPS vs BENCH_PR8.json, and the full-Table-3
-# sharded hosts/sec floor vs BENCH_PR9.json).
+# vs BENCH_PR6.json, the standing-query A/B vs BENCH_PR7.json, and
+# both sections of BENCH_PR10.json: binary-wire serving QPS and the
+# full-Table-3 sharded wall/hosts-per-sec floor).
 #
 # `make bench-baseline` re-records BENCH_PR6.json, BENCH_PR7.json,
-# BENCH_PR8.json, and BENCH_PR9.json on the current machine; commit
-# them whenever the hot path (or the hardware the CI runs on)
-# changes, or the perf-smoke allowances go stale.  The BENCH_PR8 gate
-# is deliberately loose (60%): achieved QPS over loopback sockets is
-# noisier than profiled wall time.  The BENCH_PR9 gate floors
+# and BENCH_PR10.json (a combined document: "sharded" holds the
+# Table-3 coordinator profile with worker-side cProfile aggregation,
+# "serve" holds the binary-encoding load run) on the current machine;
+# commit them whenever the hot path (or the hardware the CI runs on)
+# changes, or the perf-smoke allowances go stale.  The serve gate is
+# deliberately loose (60%): achieved QPS over loopback sockets is
+# noisier than profiled wall time.  The sharded gate floors
 # *throughput* (hosts/sec) at 50% of the committed run: full-scale
 # worker processes share the machine with whatever else CI runs.
 #
@@ -85,13 +87,16 @@ perf-smoke:
 	$(PYTHON) -m repro.cli profile --kind continuous --scale 0.05 \
 		--queries 100 --repeat 2 \
 		--baseline BENCH_PR7.json --max-regression 0.25
-	@echo ">> perf smoke (achieved serving QPS vs BENCH_PR8.json)"
+	@echo ">> perf smoke (binary-wire serving QPS vs BENCH_PR10.json)"
 	$(PYTHON) -m repro.cli load --spawn --count 200 --connections 4 \
-		--baseline BENCH_PR8.json --max-regression 0.6 > /dev/null
-	@echo ">> perf smoke (full-Table-3 sharded hosts/sec vs BENCH_PR9.json)"
+		--encoding binary \
+		--baseline BENCH_PR10.json --out-section serve \
+		--max-regression 0.6 > /dev/null
+	@echo ">> perf smoke (full-Table-3 sharded wall vs BENCH_PR10.json)"
 	$(PYTHON) -m repro.cli profile --kind sharded --region la \
 		--scale 1.0 --queries 2000 --shards 16 --top 0 \
-		--baseline BENCH_PR9.json --max-regression 0.5 > /dev/null
+		--baseline BENCH_PR10.json --out-section sharded \
+		--max-regression 0.5 > /dev/null
 
 bench-baseline:
 	@echo ">> recording profiled-workload baseline -> BENCH_PR6.json"
@@ -99,13 +104,14 @@ bench-baseline:
 	@echo ">> recording continuous A/B baseline -> BENCH_PR7.json"
 	$(PYTHON) -m repro.cli profile --kind continuous --scale 0.05 \
 		--queries 100 --repeat 3 --out BENCH_PR7.json
-	@echo ">> recording serving-layer baseline -> BENCH_PR8.json"
+	@echo ">> recording binary-wire serving baseline -> BENCH_PR10.json"
 	$(PYTHON) -m repro.cli load --spawn --count 200 --connections 4 \
-		--out BENCH_PR8.json
-	@echo ">> recording full-Table-3 sharded baseline -> BENCH_PR9.json"
+		--encoding binary --out BENCH_PR10.json --out-section serve
+	@echo ">> recording full-Table-3 sharded baseline -> BENCH_PR10.json"
 	$(PYTHON) -m repro.cli profile --kind sharded --region la \
 		--scale 1.0 --queries 2000 --shards 16 --top 10 \
-		--out BENCH_PR9.json
+		--repeat 3 --worker-profile \
+		--out BENCH_PR10.json --out-section sharded
 	@echo ">> cache-churn microbenchmark (informational)"
 	$(PYTHON) -m repro.cli profile --kind churn --queries 4000 \
 		--repeat 3 --top 10

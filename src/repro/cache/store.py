@@ -510,6 +510,94 @@ class POICache:
             self._snapshot_memo = memo
         return memo
 
+    # ------------------------------------------------------------------
+    # Binary codec support (see repro.codec.types)
+    # ------------------------------------------------------------------
+    def codec_state(self) -> tuple:
+        """The cache's replayable state as flat structures.
+
+        Everything the host-migration codec ships: configuration
+        scalars, the POI table in dict insertion order (load-bearing:
+        ``pois``/``share`` iterate it), the verified regions in their
+        area-descending list order, the *exact* slot-array prefix
+        (swap-remove order is load-bearing for batch eviction), and
+        the slab mirror (or ``None``).  Memos, the tracer, and the
+        policy are excluded — memoised values are pure functions of
+        this state (dropping them is determinism-safe), and the policy
+        is encoded separately by the codec.
+        """
+        n = self._slot_n
+        return (
+            self.capacity,
+            self.max_regions,
+            self.incremental,
+            self.generation,
+            self._regions_coalesced,
+            tuple(self._items.values()),
+            tuple(self._regions),
+            self._slot_ids[:n],
+            self._slot_xs[:n],
+            self._slot_ys[:n],
+            self._mirror,
+        )
+
+    @classmethod
+    def from_codec_state(
+        cls,
+        policy: ReplacementPolicy,
+        capacity: int,
+        max_regions: int,
+        incremental: bool,
+        generation: int,
+        regions_coalesced: bool,
+        items: Sequence[CacheItem],
+        regions: Sequence[VerifiedRegion],
+        slot_ids,
+        slot_xs,
+        slot_ys,
+        mirror: SlabUnion | None,
+    ) -> "POICache":
+        """Rebuild a cache from :meth:`codec_state` components.
+
+        The slot arrays arrive as (possibly read-only ``frombuffer``)
+        views; they are copied into fresh writable buffers sized by
+        the same doubling schedule ``_grow_slots`` uses.  Memos start
+        empty and the tracer unset — both rebuild on demand with
+        values identical to the originals.
+        """
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1, got {capacity}")
+        if max_regions < 1:
+            raise CacheError(f"max_regions must be >= 1, got {max_regions}")
+        cache = cls.__new__(cls)
+        cache.capacity = capacity
+        cache.max_regions = max_regions
+        cache.policy = policy
+        cache.incremental = incremental
+        cache._items = {item.poi.poi_id: item for item in items}
+        if len(cache._items) != len(items):
+            raise CacheError("duplicate POI ids in codec cache state")
+        cache._regions = list(regions)
+        n = int(np.asarray(slot_ids).size)
+        grown = 64
+        while grown < n:
+            grown *= 2
+        cache._slot_n = n
+        cache._slot_xs = np.empty(grown, np.float64)
+        cache._slot_ys = np.empty(grown, np.float64)
+        cache._slot_ids = np.empty(grown, np.int64)
+        cache._slot_xs[:n] = slot_xs
+        cache._slot_ys[:n] = slot_ys
+        cache._slot_ids[:n] = slot_ids
+        cache._mirror = mirror
+        cache.generation = generation
+        cache.tracer = None
+        cache._regions_coalesced = regions_coalesced
+        cache._pois_memo = None
+        cache._share_memo = None
+        cache._snapshot_memo = None
+        return cache
+
     def pois_in(self, rect: Rect) -> list[POI]:
         """Cached POIs inside a rectangle (sorted by id)."""
         hits = [

@@ -351,6 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--out", default=None, help="optional JSON output path")
     prof.add_argument(
+        "--out-section",
+        default=None,
+        metavar="KEY",
+        help="write the report under this key of a combined JSON"
+        " document at --out (read-modify-write; other sections kept)",
+    )
+    prof.add_argument(
+        "--worker-profile",
+        action="store_true",
+        help="for --kind sharded on the process backend: run one extra"
+        " (unscored) pass with cProfile inside every shard worker and"
+        " report their merged hotspots alongside the coordinator's",
+    )
+    prof.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
@@ -443,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the server's advertised in-flight cap (provoke SHED)",
     )
     load.add_argument(
+        "--encoding",
+        choices=("json", "binary"),
+        default="json",
+        help="wire encoding the clients negotiate at HELLO",
+    )
+    load.add_argument(
         "--expect-clean",
         action="store_true",
         help="exit non-zero if anything was shed or errored",
@@ -453,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the report as one JSON document",
     )
     load.add_argument("--out", default=None, help="optional JSON output path")
+    load.add_argument(
+        "--out-section",
+        default=None,
+        metavar="KEY",
+        help="write the report under this key of a combined JSON"
+        " document at --out (read-modify-write; other sections kept)",
+    )
     load.add_argument(
         "--baseline",
         default=None,
@@ -678,6 +705,103 @@ def _hotspot_label(filename: str, lineno: int, name: str) -> str:
     return f"{filename}:{lineno}({name})"
 
 
+def _profile_shard_workers(params, args: argparse.Namespace) -> dict:
+    """One sharded run with cProfile inside each worker process.
+
+    Returns the merged worker-side hotspot rows (pipe waits split out
+    as ``pipe_wait_s``), or a stub explaining why profiling was
+    skipped (only the process backend can host worker profilers).
+    """
+    from .shard import ShardedSimulation
+
+    with ShardedSimulation(
+        params,
+        seed=args.seed,
+        shards=args.shards,
+        exchange=args.exchange,
+        backend=args.shard_backend,
+    ) as sim:
+        if not sim.start_worker_profiles():
+            return {
+                "profiled_separately": False,
+                "reason": f"backend {sim.backend!r} has no worker"
+                " processes to profile",
+            }
+        sim.run_workload(QueryKind.KNN, 0, args.queries)
+        merged = sim.collect_worker_profiles()
+    # Workers block in posix.read between requests; that wait is the
+    # coordinator's problem, not a worker hotspot — split it out so
+    # the rows below are actual worker CPU.
+    pipe_wait = sum(
+        stats[2]
+        for site, stats in merged.items()
+        if "posix.read" in site
+    )
+    rows = sorted(
+        (
+            (site, stats)
+            for site, stats in merged.items()
+            if "posix.read" not in site
+        ),
+        key=lambda kv: kv[1][2],
+        reverse=True,
+    )
+    return {
+        "profiled_separately": True,
+        "worker_count": args.shards,
+        "pipe_wait_s": pipe_wait,
+        "worker_cpu_s": sum(stats[2] for _, stats in rows),
+        "hotspots": [
+            {
+                "function": site,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+            for site, (cc, nc, tt, ct) in rows[: max(0, args.top)]
+        ],
+    }
+
+
+def _load_baseline(path: str, section: str | None) -> dict:
+    """A committed benchmark document, descending into ``section``.
+
+    A combined document (e.g. BENCH_PR10.json holding both the sharded
+    profile and the serve load report) has no top-level "parameters";
+    single-report baselines from earlier PRs do, and load unchanged.
+    """
+    with open(path) as fh:
+        baseline = json.load(fh)
+    if section and "parameters" not in baseline:
+        found = baseline.get(section)
+        if not isinstance(found, dict):
+            raise SystemExit(
+                f"baseline {path} has no {section!r} section"
+            )
+        baseline = found
+    return baseline
+
+
+def _write_report(path: str, section: str | None, report: dict) -> None:
+    """Write ``report`` to ``path``, merging into a section if asked."""
+    if section:
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            existing = {}
+        # A legacy single-report file is replaced, not nested into.
+        if not isinstance(existing, dict) or "parameters" in existing:
+            existing = {}
+        existing[section] = report
+        text = json.dumps(existing, indent=2)
+    else:
+        text = json.dumps(report, indent=2)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
@@ -748,6 +872,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
                         # span / wall.
                         "hosts_per_sec": params.mh_number * sim._now / wall,
                     }
+        if args.worker_profile and sharded_stats is not None:
+            # One extra, *unscored* pass with cProfile running inside
+            # every worker process.  The gated wall/hosts_per_sec come
+            # from the unprofiled runs above — profiler overhead must
+            # not leak into the regression gate.
+            sharded_stats["workers"] = _profile_shard_workers(
+                params, args
+            )
     else:
         params = scaled_parameters(REGIONS[args.region], area_scale=args.scale)
         kind = QueryKind.KNN if args.kind == "knn" else QueryKind.WINDOW
@@ -800,12 +932,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if sharded_stats is not None:
         report["parameters"]["shards"] = sharded_stats["shards"]
         report["parameters"]["exchange"] = sharded_stats["exchange"]
+        # How much of the coordinator's profiled wall was spent blocked
+        # on worker pipes — the number worker-side profiling unmasks.
+        sharded_stats["coordinator_wait_s"] = sum(
+            row["tottime_s"]
+            for row in rows
+            if "posix.read" in row["function"]
+        )
         report["sharded"] = sharded_stats
 
     status = 0
     if args.baseline:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
+        baseline = _load_baseline(
+            args.baseline,
+            args.out_section
+            or ("sharded" if args.kind == "sharded" else None),
+        )
         workload_keys = ["region", "area_scale", "kind", "queries", "seed"]
         if args.kind == "sharded":
             workload_keys += ["shards", "exchange"]
@@ -892,9 +1034,24 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 f"{row['ncalls']:>10d} {row['tottime_s']:>9.3f}"
                 f" {row['cumtime_s']:>9.3f}  {row['function']}"
             )
+        workers = (sharded_stats or {}).get("workers")
+        if workers is not None:
+            if not workers["profiled_separately"]:
+                print(f"worker profile skipped: {workers['reason']}")
+            else:
+                print(
+                    f"worker hotspots ({workers['worker_count']} workers,"
+                    f" {workers['worker_cpu_s']:.3f} s worker CPU,"
+                    f" {workers['pipe_wait_s']:.3f} s pipe wait,"
+                    " separate unscored run):"
+                )
+                for row in workers["hotspots"][:10]:
+                    print(
+                        f"{row['ncalls']:>10d} {row['tottime_s']:>9.3f}"
+                        f" {row['cumtime_s']:>9.3f}  {row['function']}"
+                    )
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(document + "\n")
+        _write_report(args.out, args.out_section, report)
         if not args.json:
             print(f"wrote {args.out}")
     if args.baseline:
@@ -981,6 +1138,24 @@ def cmd_check(args: argparse.Namespace) -> int:
         for mismatch in continuous.mismatches:
             print(f"    {mismatch}")
         total_disagreements += len(continuous.mismatches)
+    # Codec leg: seeded random slab histories (plus payloads, ops,
+    # records, outcomes, value trees) round-tripped through both
+    # encodings — binary frames and pickle-via-__reduce__ — with
+    # truncation/corruption rejection checked on the same frames.
+    from .codec.fuzz import run_codec_fuzz
+
+    fuzz = run_codec_fuzz(seed=args.seed, rounds=max(10, per_leg // 4))
+    status = "ok" if fuzz.ok else f"{len(fuzz.mismatches)} DISAGREE"
+    print(
+        f"{'codec':>10s} fuzz {fuzz.objects_checked:>6d} objects"
+        f" ({fuzz.values_checked} value trees,"
+        f" {fuzz.truncations_rejected} truncations rejected,"
+        f" {fuzz.corruptions_tried} corruptions)"
+        f" in {fuzz.elapsed_s:6.1f}s: {status}"
+    )
+    for mismatch in fuzz.mismatches:
+        print(f"    {mismatch}")
+    total_disagreements += len(fuzz.mismatches)
     if total_disagreements:
         where = f" (artifacts in {args.out})" if args.out else ""
         print(f"FAIL: {total_disagreements} disagreement(s){where}")
@@ -1069,6 +1244,7 @@ def cmd_load(args: argparse.Namespace) -> int:
                 qps=args.qps,
                 lockstep=args.lockstep,
                 respect_cap=not args.ignore_cap,
+                encoding=args.encoding,
             )
         finally:
             if server is not None:
@@ -1087,16 +1263,21 @@ def cmd_load(args: argparse.Namespace) -> int:
             "qps": args.qps,
             "lockstep": args.lockstep,
             "spawned": args.spawn,
+            "encoding": args.encoding,
         },
     }
     document.update(report.to_dict())
 
     status = 0
     if args.baseline:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
+        baseline = _load_baseline(
+            args.baseline, args.out_section or "serve"
+        )
+        # Baselines recorded before the binary wire mode are JSON runs.
+        baseline["parameters"].setdefault("encoding", "json")
         workload_keys = (
             "region", "area_scale", "kind", "seed", "count", "connections",
+            "encoding",
         )
         mismatched = {
             key: (baseline["parameters"].get(key), document["parameters"][key])
@@ -1142,8 +1323,7 @@ def cmd_load(args: argparse.Namespace) -> int:
         if report.shed_reasons:
             print(f"  shed reasons: {report.shed_reasons}")
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text + "\n")
+        _write_report(args.out, args.out_section, document)
         if not args.json:
             print(f"wrote {args.out}")
     if args.baseline:

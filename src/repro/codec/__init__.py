@@ -1,0 +1,51 @@
+"""Compact binary serialization for the hot exchange paths.
+
+``repro.codec`` frames are ``MAGIC | VERSION | TAG | payload``:
+struct-packed headers plus contiguous float64/int64 buffers that
+round-trip through numpy views with zero copies on the read side.
+:func:`encode` / :func:`decode` dispatch on registered type tags
+(:mod:`~repro.codec.types`); :func:`decode` is strict — truncated,
+trailing, or unknown bytes raise :class:`~repro.errors.CodecError`.
+
+Consumers:
+
+* the domain types' ``__reduce__`` hooks (pickling a
+  :class:`~repro.p2p.SharePayload` now ships one codec frame instead
+  of a generic dataclass graph);
+* the sharded simulator's pipe RPC (:mod:`repro.shard.rpc`), which
+  moves raw codec buffers over ``send_bytes``/``recv_bytes``;
+* the serving layer's negotiated binary frame mode
+  (:mod:`repro.serve.protocol`), built on the pickle-free value codec
+  in :mod:`~repro.codec.values`.
+"""
+
+from ..errors import CodecError
+from .core import (
+    MAGIC,
+    VERSION,
+    Reader,
+    Writer,
+    decode,
+    encode,
+    frame,
+    open_frame,
+    register,
+)
+from .types import encode_records
+from .values import read_value, write_value
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "CodecError",
+    "Reader",
+    "Writer",
+    "decode",
+    "encode",
+    "encode_records",
+    "frame",
+    "open_frame",
+    "read_value",
+    "register",
+    "write_value",
+]

@@ -1,0 +1,270 @@
+"""Seeded codec fuzzing for the ``repro check`` harness.
+
+Generates random-but-reproducible domain objects — slab unions grown
+from random rect histories, share payloads, overhear ops, query
+records/events, composed event outcomes, and JSON-shaped value trees —
+and round-trips each through *both* encodings that exist for it:
+
+* the flat binary frame (``encode`` / ``decode``), and
+* pickle, which the domain types' ``__reduce__`` hooks route through
+  the same frames (so a divergence here means the hook and the codec
+  disagree).
+
+Equality is judged on canonical re-encoded bytes: the codec is
+deterministic over an object's logical state, so ``encode(clone) ==
+encode(original)`` iff every field (floats bit-for-bit) survived.
+
+Each round also attacks the frames: every truncation prefix of a
+sampled frame must raise :class:`~repro.errors.CodecError`, trailing
+garbage must raise, and random byte corruption must either decode or
+raise ``CodecError`` — never any other exception (the hostile-bytes
+contract from the serving layer, applied to the exchange codec).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from dataclasses import dataclass, field
+
+from ..core import Resolution
+from ..experiments.metrics import QueryRecord
+from ..geometry import Point, Rect
+from ..geometry.slabunion import SlabUnion
+from ..model import POI
+from ..p2p.protocol import SharePayload
+from ..shard.messages import EventOutcome, OverhearOp
+from ..workloads.queries import QueryEvent, QueryKind
+from .core import Reader, Writer, decode, encode
+from .values import read_value, write_value
+from ..errors import CodecError
+
+__all__ = ["CodecFuzzReport", "run_codec_fuzz"]
+
+
+@dataclass(slots=True)
+class CodecFuzzReport:
+    """What one fuzz campaign covered and whether anything diverged."""
+
+    seed: int
+    rounds: int
+    objects_checked: int = 0
+    values_checked: int = 0
+    truncations_rejected: int = 0
+    corruptions_tried: int = 0
+    elapsed_s: float = 0.0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+# ----------------------------------------------------------------------
+# Random object builders (all driven by one Random instance)
+# ----------------------------------------------------------------------
+def _rect(rng: random.Random) -> Rect:
+    x = rng.uniform(-500.0, 500.0)
+    y = rng.uniform(-500.0, 500.0)
+    # Degenerate (zero-extent) rects are legal inputs and must survive.
+    w = 0.0 if rng.random() < 0.1 else rng.uniform(0.0, 80.0)
+    h = 0.0 if rng.random() < 0.1 else rng.uniform(0.0, 80.0)
+    return Rect(x, y, x + w, y + h)
+
+
+def _pois(rng: random.Random, n: int) -> tuple[POI, ...]:
+    return tuple(
+        POI(
+            rng.randrange(0, 10_000),
+            Point(rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0)),
+        )
+        for _ in range(n)
+    )
+
+
+def _slab_union(rng: random.Random) -> SlabUnion:
+    """A slab union grown from a random insert history."""
+    union = SlabUnion()
+    for _ in range(rng.randrange(0, 12)):
+        union.insert_rect(_rect(rng))
+    if rng.random() < 0.3:
+        union.freeze()
+    return union
+
+
+def _payload(rng: random.Random) -> SharePayload:
+    roll = rng.random()
+    union = None if roll < 0.25 else _slab_union(rng)
+    return SharePayload(
+        host_id=rng.randrange(0, 1000),
+        # Generation-0 payloads (a host that never shared) are legal.
+        generation=0 if rng.random() < 0.2 else rng.randrange(0, 1 << 30),
+        regions=tuple(_rect(rng) for _ in range(rng.randrange(0, 6))),
+        pois=_pois(rng, rng.randrange(0, 8)),
+        region_union=union,
+    )
+
+
+def _op(rng: random.Random) -> OverhearOp:
+    return OverhearOp(
+        event_index=rng.randrange(0, 1 << 20),
+        target=rng.randrange(0, 1000),
+        now=rng.uniform(0.0, 3600.0),
+        position=(rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0)),
+        heading=(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)),
+        shared=tuple(
+            (_rect(rng), _pois(rng, rng.randrange(0, 4)))
+            for _ in range(rng.randrange(0, 3))
+        ),
+    )
+
+
+def _record(rng: random.Random) -> QueryRecord:
+    kind = rng.choice((QueryKind.KNN, QueryKind.WINDOW))
+    return QueryRecord(
+        time=rng.uniform(0.0, 3600.0),
+        host_id=rng.randrange(0, 1000),
+        kind=kind,
+        resolution=rng.choice(tuple(Resolution)),
+        access_latency=rng.uniform(0.0, 100.0),
+        tuning_packets=rng.randrange(0, 200),
+        buckets_downloaded=rng.randrange(0, 200),
+        peer_count=rng.randrange(0, 20),
+        k=rng.randrange(0, 32),
+        window_area=rng.uniform(0.0, 1e4),
+        result_size=rng.randrange(0, 64),
+        covered_fraction_missing=rng.random(),
+        p2p_drops=rng.randrange(0, 8),
+        p2p_retries=rng.randrange(0, 8),
+        p2p_deadline_misses=rng.randrange(0, 8),
+        recovery_retunes=rng.randrange(0, 8),
+        buckets_lost=rng.randrange(0, 8),
+    )
+
+
+def _event(rng: random.Random) -> QueryEvent:
+    return QueryEvent(
+        time=rng.uniform(0.0, 3600.0),
+        host_id=rng.randrange(0, 1000),
+        kind=rng.choice((QueryKind.KNN, QueryKind.WINDOW)),
+        k=rng.randrange(1, 32),
+        window_area=rng.uniform(1.0, 1e4),
+        center_offset=(rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)),
+    )
+
+
+def _outcome(rng: random.Random) -> EventOutcome:
+    return EventOutcome(
+        event_index=rng.randrange(0, 1 << 20),
+        record=_record(rng),
+        remote_ops=tuple(_op(rng) for _ in range(rng.randrange(0, 3))),
+        dirty=tuple(
+            (rng.randrange(0, 1000), rng.randrange(0, 1 << 30))
+            for _ in range(rng.randrange(0, 4))
+        ),
+    )
+
+
+def _json_value(rng: random.Random, depth: int = 0):
+    roll = rng.random()
+    if depth >= 3 or roll < 0.55:
+        return rng.choice(
+            (
+                None,
+                True,
+                False,
+                rng.randrange(-(1 << 40), 1 << 40),
+                rng.uniform(-1e6, 1e6),
+                "".join(
+                    rng.choice("abc λΔ0") for _ in range(rng.randrange(0, 9))
+                ),
+            )
+        )
+    if roll < 0.8:
+        return [
+            _json_value(rng, depth + 1) for _ in range(rng.randrange(0, 4))
+        ]
+    return {
+        f"k{i}": _json_value(rng, depth + 1)
+        for i in range(rng.randrange(0, 4))
+    }
+
+
+_BUILDERS = (_slab_union, _payload, _op, _record, _event, _outcome)
+
+
+# ----------------------------------------------------------------------
+# The campaign
+# ----------------------------------------------------------------------
+def _attack(rng: random.Random, frame: bytes, report: CodecFuzzReport):
+    """Truncation / trailing-garbage / corruption checks on one frame."""
+    for cut in sorted(rng.sample(range(len(frame)), min(6, len(frame)))):
+        try:
+            decode(frame[:cut])
+        except CodecError:
+            report.truncations_rejected += 1
+        else:
+            report.mismatches.append(
+                f"truncation to {cut}/{len(frame)} bytes decoded cleanly"
+            )
+    try:
+        decode(frame + b"\x00")
+    except CodecError:
+        report.truncations_rejected += 1
+    else:
+        report.mismatches.append("frame with trailing byte decoded cleanly")
+    corrupt = bytearray(frame)
+    for _ in range(3):
+        corrupt[rng.randrange(len(corrupt))] ^= 1 << rng.randrange(8)
+        report.corruptions_tried += 1
+        try:
+            decode(bytes(corrupt))
+        except CodecError:
+            pass  # rejection is the expected outcome
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            report.mismatches.append(
+                f"corrupted frame escaped CodecError: {type(exc).__name__}:"
+                f" {exc}"
+            )
+
+
+def run_codec_fuzz(seed: int = 0, rounds: int = 50) -> CodecFuzzReport:
+    """Round-trip ``rounds`` batches of random objects both ways."""
+    from time import perf_counter
+
+    started = perf_counter()
+    rng = random.Random(seed)
+    report = CodecFuzzReport(seed=seed, rounds=rounds)
+    for round_index in range(rounds):
+        for build in _BUILDERS:
+            obj = build(rng)
+            original = encode(obj)
+            for label, clone in (
+                ("codec", decode(original)),
+                ("pickle", pickle.loads(pickle.dumps(obj))),
+            ):
+                again = encode(clone)
+                if again != original:
+                    report.mismatches.append(
+                        f"round {round_index} seed {seed}:"
+                        f" {type(obj).__name__} diverged after {label}"
+                        f" round-trip ({len(original)} -> {len(again)}"
+                        " bytes)"
+                    )
+            report.objects_checked += 1
+            if round_index % 5 == 0:
+                _attack(rng, original, report)
+        value = _json_value(rng)
+        writer = Writer()
+        write_value(writer, value)
+        reader = Reader(writer.getvalue())
+        clone = read_value(reader)
+        reader.expect_end()
+        if clone != value:
+            report.mismatches.append(
+                f"round {round_index} seed {seed}: value tree diverged:"
+                f" {value!r} -> {clone!r}"
+            )
+        report.values_checked += 1
+    report.elapsed_s = perf_counter() - started
+    return report

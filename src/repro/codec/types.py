@@ -1,0 +1,539 @@
+"""Flat binary layouts for the hot exchange types.
+
+One registration per versioned type tag (see :mod:`repro.codec.core`):
+
+* ``Rect`` / ``Point`` / ``POI`` batches — contiguous float64/int64
+  buffers, category strings elided when every POI carries the default;
+* ``SlabUnion`` — generation + flags + x-cut array + per-slab interval
+  counts + one flat interval buffer (+ member rects while insert-only);
+* ``SharePayload`` / ``OverhearOp`` / ``EventOutcome`` — the cross-
+  shard exchange messages, composed from the above;
+* ``QueryRecord`` / ``QueryEvent`` — single ``struct`` packs with
+  enum ordinals for :class:`QueryKind` / :class:`Resolution`;
+* ``MobileHost`` — the host-migration record: the full
+  :meth:`POICache.codec_state` plus the eviction policy (struct-packed
+  for the stock :class:`DirectionDistancePolicy`, pickled otherwise —
+  hosts with standing queries or tracers fall back to whole-object
+  pickle, which the sharded simulator never produces).
+
+Floats round-trip bit-exactly (``<d`` both ways) and every decoded
+coordinate is a Python ``float`` (numpy views are ``.tolist()``-ed),
+so downstream arithmetic is bit-identical to the never-encoded
+object.  The domain types' ``__reduce__`` hooks route pickling through
+:func:`~repro.codec.core.encode` / :func:`~repro.codec.core.decode`,
+which is what removes the generic-dataclass pickle cost everywhere
+else (and what the codec fuzz leg cross-checks).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from ..cache.entry import CacheItem, VerifiedRegion
+from ..cache.policy import DirectionDistancePolicy
+from ..cache.store import POICache
+from ..core import MVRMemo, Resolution
+from ..errors import CodecError
+from ..experiments.host import MobileHost
+from ..experiments.metrics import QueryRecord
+from ..geometry import Point, Rect
+from ..geometry.slabunion import SlabUnion
+from ..model import DEFAULT_CATEGORY, POI
+from ..p2p.protocol import SharePayload
+from ..shard.messages import EventOutcome, OverhearOp
+from ..workloads.queries import QueryEvent, QueryKind
+from .core import (
+    TAG_EVENT_OUTCOME,
+    TAG_HOST,
+    TAG_OVERHEAR_OP,
+    TAG_QUERY_EVENT,
+    TAG_QUERY_RECORD,
+    TAG_RECORD_BATCH,
+    TAG_SHARE_PAYLOAD,
+    TAG_SLAB_UNION,
+    Reader,
+    Writer,
+    frame,
+    register,
+)
+
+_KIND_CODE = {QueryKind.KNN: 0, QueryKind.WINDOW: 1}
+_CODE_KIND = {code: kind for kind, code in _KIND_CODE.items()}
+_RESOLUTION_CODE = {
+    Resolution.VERIFIED: 0,
+    Resolution.APPROXIMATE: 1,
+    Resolution.BROADCAST: 2,
+}
+_CODE_RESOLUTION = {code: res for res, code in _RESOLUTION_CODE.items()}
+
+
+def _kind_from(code: int) -> QueryKind:
+    try:
+        return _CODE_KIND[code]
+    except KeyError:
+        raise CodecError(f"unknown query-kind code {code}")
+
+
+def _resolution_from(code: int) -> Resolution:
+    try:
+        return _CODE_RESOLUTION[code]
+    except KeyError:
+        raise CodecError(f"unknown resolution code {code}")
+
+
+# ----------------------------------------------------------------------
+# Geometry primitives
+# ----------------------------------------------------------------------
+def write_rect(w: Writer, rect: Rect) -> None:
+    w.f64(rect.x1)
+    w.f64(rect.y1)
+    w.f64(rect.x2)
+    w.f64(rect.y2)
+
+
+def read_rect(r: Reader) -> Rect:
+    return Rect(r.f64(), r.f64(), r.f64(), r.f64())
+
+
+def write_rects(w: Writer, rects) -> None:
+    flat = []
+    for rect in rects:
+        flat.append(rect.x1)
+        flat.append(rect.y1)
+        flat.append(rect.x2)
+        flat.append(rect.y2)
+    w.f64_array(flat)
+
+
+def read_rects(r: Reader) -> tuple[Rect, ...]:
+    flat = r.f64_array()
+    if flat.size % 4:
+        raise CodecError(f"rect buffer of {flat.size} floats is not 4-aligned")
+    vals = flat.tolist()
+    return tuple(
+        Rect(vals[i], vals[i + 1], vals[i + 2], vals[i + 3])
+        for i in range(0, len(vals), 4)
+    )
+
+
+def write_pois(w: Writer, pois) -> None:
+    w.i64_array([p.poi_id for p in pois])
+    w.f64_array([p.location.x for p in pois])
+    w.f64_array([p.location.y for p in pois])
+    if all(p.category is DEFAULT_CATEGORY or p.category == DEFAULT_CATEGORY
+           for p in pois):
+        w.u8(0)
+    else:
+        w.u8(1)
+        for p in pois:
+            w.str_(p.category)
+
+
+def read_pois(r: Reader) -> tuple[POI, ...]:
+    ids = r.i64_array().tolist()
+    xs = r.f64_array().tolist()
+    ys = r.f64_array().tolist()
+    if len(xs) != len(ids) or len(ys) != len(ids):
+        raise CodecError("POI coordinate buffers disagree with the id buffer")
+    flag = r.u8()
+    if flag == 0:
+        return tuple(
+            POI(pid, Point(x, y)) for pid, x, y in zip(ids, xs, ys)
+        )
+    if flag != 1:
+        raise CodecError(f"unknown POI category flag {flag}")
+    return tuple(
+        POI(pid, Point(x, y), r.str_()) for pid, x, y in zip(ids, xs, ys)
+    )
+
+
+# ----------------------------------------------------------------------
+# SlabUnion
+# ----------------------------------------------------------------------
+_FLAG_FROZEN = 1
+_FLAG_MEMBERS = 2
+
+
+def write_slab_union(w: Writer, union: SlabUnion) -> None:
+    members = union._members
+    w.i64(union.generation)
+    flags = 0
+    if union._frozen:
+        flags |= _FLAG_FROZEN
+    if members is not None:
+        flags |= _FLAG_MEMBERS
+    w.u8(flags)
+    w.f64_array(union._xs)
+    slabs = union._slabs
+    w.i64_array([len(intervals) for intervals in slabs])
+    flat = []
+    for intervals in slabs:
+        for a, b in intervals:
+            flat.append(a)
+            flat.append(b)
+    w.f64_array(flat)
+    if members is not None:
+        write_rects(w, members)
+
+
+def read_slab_union(r: Reader) -> SlabUnion:
+    generation = r.i64()
+    flags = r.u8()
+    if flags & ~(_FLAG_FROZEN | _FLAG_MEMBERS):
+        raise CodecError(f"unknown SlabUnion flags 0x{flags:02x}")
+    xs = r.f64_array().tolist()
+    counts = r.i64_array().tolist()
+    if len(counts) != max(len(xs) - 1, 0):
+        raise CodecError(
+            f"{len(counts)} slabs do not fit {len(xs)} x cuts"
+        )
+    flat = r.f64_array().tolist()
+    total = 0
+    for count in counts:
+        if count < 0:
+            raise CodecError(f"negative slab interval count {count}")
+        total += count
+    if len(flat) != 2 * total:
+        raise CodecError(
+            f"interval buffer holds {len(flat)} floats, expected {2 * total}"
+        )
+    slabs: list[tuple] = []
+    pos = 0
+    for count in counts:
+        end = pos + 2 * count
+        slabs.append(
+            tuple(zip(flat[pos:end:2], flat[pos + 1:end:2]))
+        )
+        pos = end
+    union = SlabUnion.__new__(SlabUnion)
+    union._xs = xs
+    union._slabs = slabs
+    union._members = list(read_rects(r)) if flags & _FLAG_MEMBERS else None
+    union.generation = generation
+    union._frozen = bool(flags & _FLAG_FROZEN)
+    union._memo_gen = -1
+    union._memo = {}
+    return union
+
+
+# ----------------------------------------------------------------------
+# SharePayload / OverhearOp / EventOutcome
+# ----------------------------------------------------------------------
+_UNION_NONE = 0
+_UNION_SLAB = 1
+_UNION_PICKLE = 2
+
+
+def write_share_payload(w: Writer, payload: SharePayload) -> None:
+    w.i64(payload.host_id)
+    w.i64(payload.generation)
+    write_rects(w, payload.regions)
+    write_pois(w, payload.pois)
+    union = payload.region_union
+    if union is None:
+        w.u8(_UNION_NONE)
+    elif type(union) is SlabUnion:
+        w.u8(_UNION_SLAB)
+        write_slab_union(w, union)
+    else:
+        w.u8(_UNION_PICKLE)
+        w.bytes_(pickle.dumps(union, pickle.HIGHEST_PROTOCOL))
+
+
+def read_share_payload(r: Reader) -> SharePayload:
+    host_id = r.i64()
+    generation = r.i64()
+    regions = read_rects(r)
+    pois = read_pois(r)
+    mode = r.u8()
+    if mode == _UNION_NONE:
+        union = None
+    elif mode == _UNION_SLAB:
+        union = read_slab_union(r)
+    elif mode == _UNION_PICKLE:
+        union = pickle.loads(r.bytes_())
+    else:
+        raise CodecError(f"unknown region-union mode {mode}")
+    return SharePayload(
+        host_id=host_id,
+        generation=generation,
+        regions=regions,
+        pois=pois,
+        region_union=union,
+    )
+
+
+def write_overhear_op(w: Writer, op: OverhearOp) -> None:
+    w.i64(op.event_index)
+    w.i64(op.target)
+    w.f64(op.now)
+    w.f64(op.position[0])
+    w.f64(op.position[1])
+    w.f64(op.heading[0])
+    w.f64(op.heading[1])
+    w.u32(len(op.shared))
+    for region, pois in op.shared:
+        write_rect(w, region)
+        write_pois(w, pois)
+
+
+def read_overhear_op(r: Reader) -> OverhearOp:
+    event_index = r.i64()
+    target = r.i64()
+    now = r.f64()
+    position = (r.f64(), r.f64())
+    heading = (r.f64(), r.f64())
+    shared = tuple(
+        (read_rect(r), read_pois(r)) for _ in range(r.u32())
+    )
+    return OverhearOp(event_index, target, now, position, heading, shared)
+
+
+# All 17 QueryRecord fields in dataclass order; enums as u8 ordinals.
+_RECORD = struct.Struct("<dqBBdqqqqdqdqqqqq")
+
+
+def write_record(w: Writer, record: QueryRecord) -> None:
+    w.buf += _RECORD.pack(
+        record.time,
+        record.host_id,
+        _KIND_CODE[record.kind],
+        _RESOLUTION_CODE[record.resolution],
+        record.access_latency,
+        record.tuning_packets,
+        record.buckets_downloaded,
+        record.peer_count,
+        record.k,
+        record.window_area,
+        record.result_size,
+        record.covered_fraction_missing,
+        record.p2p_drops,
+        record.p2p_retries,
+        record.p2p_deadline_misses,
+        record.recovery_retunes,
+        record.buckets_lost,
+    )
+
+
+def read_record(r: Reader) -> QueryRecord:
+    fields = _RECORD.unpack(r._take(_RECORD.size))
+    return QueryRecord(
+        fields[0],
+        fields[1],
+        _kind_from(fields[2]),
+        _resolution_from(fields[3]),
+        *fields[4:],
+    )
+
+
+def write_event(w: Writer, event: QueryEvent) -> None:
+    w.f64(event.time)
+    w.i64(event.host_id)
+    w.u8(_KIND_CODE[event.kind])
+    w.i64(event.k)
+    w.f64(event.window_area)
+    w.f64(event.center_offset[0])
+    w.f64(event.center_offset[1])
+
+
+def read_event(r: Reader) -> QueryEvent:
+    return QueryEvent(
+        time=r.f64(),
+        host_id=r.i64(),
+        kind=_kind_from(r.u8()),
+        k=r.i64(),
+        window_area=r.f64(),
+        center_offset=(r.f64(), r.f64()),
+    )
+
+
+def write_event_outcome(w: Writer, outcome: EventOutcome) -> None:
+    w.i64(outcome.event_index)
+    write_record(w, outcome.record)
+    w.u32(len(outcome.remote_ops))
+    for op in outcome.remote_ops:
+        write_overhear_op(w, op)
+    w.i64_array([value for pair in outcome.dirty for value in pair])
+
+
+def read_dirty(r: Reader) -> tuple[tuple[int, int], ...]:
+    flat = r.i64_array()
+    if flat.size % 2:
+        raise CodecError("odd dirty-pair buffer")
+    vals = flat.tolist()
+    return tuple(
+        (vals[i], vals[i + 1]) for i in range(0, len(vals), 2)
+    )
+
+
+def read_event_outcome(r: Reader) -> EventOutcome:
+    event_index = r.i64()
+    record = read_record(r)
+    remote_ops = tuple(read_overhear_op(r) for _ in range(r.u32()))
+    return EventOutcome(event_index, record, remote_ops, read_dirty(r))
+
+
+# ----------------------------------------------------------------------
+# QueryRecord batches
+# ----------------------------------------------------------------------
+def encode_records(records) -> bytes:
+    """One frame holding a contiguous batch of query records."""
+    writer = frame(TAG_RECORD_BATCH)
+    writer.u32(len(records))
+    for record in records:
+        write_record(writer, record)
+    return writer.getvalue()
+
+
+def read_record_batch(r: Reader) -> tuple[QueryRecord, ...]:
+    return tuple(read_record(r) for _ in range(r.u32()))
+
+
+# ----------------------------------------------------------------------
+# MobileHost migration records
+# ----------------------------------------------------------------------
+_HOST_STRUCTURED = 0
+_HOST_PICKLED = 1
+_POLICY_DIRECTION = 1
+_POLICY_PICKLE = 2
+
+
+def write_host(w: Writer, host: MobileHost) -> None:
+    cache = host.cache
+    if host.standing or cache.tracer is not None:
+        # Standing queries hold monitor-engine objects and tracers
+        # hold open files: both are outside the flat layout.  The
+        # sharded simulator rejects these configurations up front, so
+        # this branch only serves ad-hoc pickling of exotic hosts.
+        w.u8(_HOST_PICKLED)
+        w.bytes_(pickle.dumps(host, pickle.HIGHEST_PROTOCOL))
+        return
+    w.u8(_HOST_STRUCTURED)
+    w.i64(host.host_id)
+    (
+        capacity,
+        max_regions,
+        incremental,
+        generation,
+        regions_coalesced,
+        items,
+        regions,
+        slot_ids,
+        slot_xs,
+        slot_ys,
+        mirror,
+    ) = cache.codec_state()
+    if type(cache.policy) is DirectionDistancePolicy:
+        w.u8(_POLICY_DIRECTION)
+        w.f64(cache.policy.behind_penalty)
+    else:
+        w.u8(_POLICY_PICKLE)
+        w.bytes_(pickle.dumps(cache.policy, pickle.HIGHEST_PROTOCOL))
+    w.i64(capacity)
+    w.i64(max_regions)
+    w.u8(1 if incremental else 0)
+    w.i64(generation)
+    w.u8(1 if regions_coalesced else 0)
+    write_pois(w, [item.poi for item in items])
+    w.f64_array([item.inserted_at for item in items])
+    w.f64_array([item.last_used for item in items])
+    write_rects(w, [vr.rect for vr in regions])
+    w.f64_array([vr.created_at for vr in regions])
+    w.i64_array(slot_ids)
+    w.f64_array(slot_xs)
+    w.f64_array(slot_ys)
+    if mirror is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        write_slab_union(w, mirror)
+
+
+def read_host(r: Reader) -> MobileHost:
+    mode = r.u8()
+    if mode == _HOST_PICKLED:
+        host = pickle.loads(r.bytes_())
+        if not isinstance(host, MobileHost):
+            raise CodecError("pickled host record is not a MobileHost")
+        return host
+    if mode != _HOST_STRUCTURED:
+        raise CodecError(f"unknown host record mode {mode}")
+    host_id = r.i64()
+    policy_mode = r.u8()
+    if policy_mode == _POLICY_DIRECTION:
+        policy = DirectionDistancePolicy(r.f64())
+    elif policy_mode == _POLICY_PICKLE:
+        policy = pickle.loads(r.bytes_())
+    else:
+        raise CodecError(f"unknown policy mode {policy_mode}")
+    capacity = r.i64()
+    max_regions = r.i64()
+    incremental = bool(r.u8())
+    generation = r.i64()
+    regions_coalesced = bool(r.u8())
+    pois = read_pois(r)
+    inserted_at = r.f64_array().tolist()
+    last_used = r.f64_array().tolist()
+    if len(inserted_at) != len(pois) or len(last_used) != len(pois):
+        raise CodecError("cache item clock buffers disagree with POI count")
+    items = []
+    new_item = CacheItem.__new__
+    for poi, t_in, t_used in zip(pois, inserted_at, last_used):
+        item = new_item(CacheItem)
+        item.poi = poi
+        item.inserted_at = t_in
+        item.last_used = t_used
+        items.append(item)
+    region_rects = read_rects(r)
+    created_at = r.f64_array().tolist()
+    if len(created_at) != len(region_rects):
+        raise CodecError("region clock buffer disagrees with rect count")
+    regions = [
+        VerifiedRegion(rect, t) for rect, t in zip(region_rects, created_at)
+    ]
+    slot_ids = r.i64_array()
+    slot_xs = r.f64_array()
+    slot_ys = r.f64_array()
+    if slot_xs.size != slot_ids.size or slot_ys.size != slot_ids.size:
+        raise CodecError("slot coordinate buffers disagree with id buffer")
+    mirror = read_slab_union(r) if r.u8() else None
+    cache = POICache.from_codec_state(
+        policy,
+        capacity,
+        max_regions,
+        incremental,
+        generation,
+        regions_coalesced,
+        items,
+        regions,
+        slot_ids,
+        slot_xs,
+        slot_ys,
+        mirror,
+    )
+    host = MobileHost.__new__(MobileHost)
+    host.host_id = host_id
+    host.cache = cache
+    host._share_generation = None
+    host._share_memo = None
+    host._mvr_memo = MVRMemo()
+    host.standing = {}
+    return host
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+register(TAG_SLAB_UNION, SlabUnion, write_slab_union, read_slab_union)
+register(
+    TAG_SHARE_PAYLOAD, SharePayload, write_share_payload, read_share_payload
+)
+register(TAG_OVERHEAR_OP, OverhearOp, write_overhear_op, read_overhear_op)
+register(TAG_QUERY_RECORD, QueryRecord, write_record, read_record)
+register(
+    TAG_EVENT_OUTCOME, EventOutcome, write_event_outcome, read_event_outcome
+)
+register(TAG_QUERY_EVENT, QueryEvent, write_event, read_event)
+register(TAG_HOST, MobileHost, write_host, read_host)
+register(TAG_RECORD_BATCH, None, None, read_record_batch)

@@ -1,0 +1,100 @@
+"""Strict binary codec for JSON-shaped values.
+
+The serving layer's binary frame mode carries the same message dicts
+the JSON mode does; this module encodes exactly the JSON value set —
+``None``, bools, (64-bit) ints, floats, strings, lists, and
+string-keyed dicts — one type byte per value, with **no** pickle
+anywhere, so hostile bytes can at worst raise
+:class:`~repro.errors.CodecError` (never execute anything).
+
+Unlike JSON, ints and floats stay distinct types on the wire, so a
+round-trip preserves ``1`` vs ``1.0``.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError
+from .core import Reader, Writer
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_LIST = 6
+_T_DICT = 7
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+# Defense against hostile deeply-nested frames blowing the stack.
+MAX_DEPTH = 32
+
+
+def write_value(w: Writer, value, _depth: int = 0) -> None:
+    if _depth > MAX_DEPTH:
+        raise CodecError(f"value nesting exceeds {MAX_DEPTH} levels")
+    if value is None:
+        w.u8(_T_NONE)
+    elif value is True:
+        w.u8(_T_TRUE)
+    elif value is False:
+        w.u8(_T_FALSE)
+    elif type(value) is int:
+        if not _I64_MIN <= value <= _I64_MAX:
+            raise CodecError(f"integer {value} exceeds 64 bits")
+        w.u8(_T_INT)
+        w.i64(value)
+    elif type(value) is float:
+        w.u8(_T_FLOAT)
+        w.f64(value)
+    elif type(value) is str:
+        w.u8(_T_STR)
+        w.str_(value)
+    elif type(value) in (list, tuple):
+        w.u8(_T_LIST)
+        w.u32(len(value))
+        for item in value:
+            write_value(w, item, _depth + 1)
+    elif type(value) is dict:
+        w.u8(_T_DICT)
+        w.u32(len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise CodecError(
+                    f"dict key must be str, got {type(key).__name__}"
+                )
+            w.str_(key)
+            write_value(w, item, _depth + 1)
+    else:
+        raise CodecError(
+            f"value of type {type(value).__name__} is not encodable"
+        )
+
+
+def read_value(r: Reader, _depth: int = 0):
+    if _depth > MAX_DEPTH:
+        raise CodecError(f"value nesting exceeds {MAX_DEPTH} levels")
+    tag = r.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_INT:
+        return r.i64()
+    if tag == _T_FLOAT:
+        return r.f64()
+    if tag == _T_STR:
+        return r.str_()
+    if tag == _T_LIST:
+        return [read_value(r, _depth + 1) for _ in range(r.u32())]
+    if tag == _T_DICT:
+        out = {}
+        for _ in range(r.u32()):
+            key = r.str_()
+            out[key] = read_value(r, _depth + 1)
+        return out
+    raise CodecError(f"unknown value type byte {tag}")

@@ -45,3 +45,7 @@ class FaultError(ReproError):
 
 class ServeError(ReproError):
     """Serving-layer failure: framing, session, or admission misuse."""
+
+
+class CodecError(ReproError):
+    """Malformed, truncated, or unsupported binary codec frame."""

@@ -133,6 +133,15 @@ class SlabUnion:
         self._frozen = True
         return self
 
+    def __reduce__(self):
+        # Pickle as one flat codec frame (repro.codec.types): the slab
+        # structure, generation, frozen flag, and members round-trip
+        # bit-exactly; memoised derived values are dropped (they are
+        # pure functions of the structure and rebuild identically).
+        from ..codec import decode, encode
+
+        return (decode, (encode(self),))
+
     def union_with(self, rects: Iterable[Rect]) -> "SlabUnion":
         """A new union that also covers ``rects`` (self unchanged)."""
         twin = self.clone()

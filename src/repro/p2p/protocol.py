@@ -60,6 +60,14 @@ class SharePayload:
     pois: tuple[POI, ...]
     region_union: object = None
 
+    def __reduce__(self):
+        # Pickle as one flat codec frame: contiguous rect/POI buffers
+        # plus the slab-structured union, instead of a generic
+        # dataclass object graph (see repro.codec.types).
+        from ..codec import decode, encode
+
+        return (decode, (encode(self),))
+
     @property
     def is_empty(self) -> bool:
         return not self.regions and not self.pois

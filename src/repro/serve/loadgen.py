@@ -31,6 +31,8 @@ from typing import Any
 from ..errors import ServeError
 from ..workloads import ParameterSet, QueryEvent, QueryKind, seeded_events
 from .protocol import (
+    ENCODING_JSON,
+    ENCODINGS,
     MAX_FRAME,
     MSG_ANSWER,
     MSG_HELLO,
@@ -55,11 +57,15 @@ class ServeClient:
         client_id: str = "client",
         max_frame: int = MAX_FRAME,
         respect_cap: bool = True,
+        encoding: str = ENCODING_JSON,
     ):
+        if encoding not in ENCODINGS:
+            raise ServeError(f"unknown wire encoding {encoding!r}")
         self.host = host
         self.port = port
         self.client_id = client_id
         self.max_frame = max_frame
+        self.encoding = encoding
         # A well-behaved client stays under the server's advertised
         # per-client in-flight cap (HELLO `max_inflight`) and is never
         # shed for "client-cap"; overload experiments turn this off.
@@ -75,17 +81,33 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     async def connect(self) -> dict[str, Any]:
-        """Open the connection and complete the HELLO handshake."""
+        """Open the connection and complete the HELLO handshake.
+
+        The HELLO exchange is always JSON; a binary client advertises
+        ``"encoding": "binary"`` in it (a JSON client sends no key at
+        all, keeping the legacy handshake bytes unchanged) and requires
+        the server's echo before switching the stream over.
+        """
         self.reader, self.writer = await asyncio.open_connection(
             self.host, self.port
         )
-        self.writer.write(
-            encode_frame({"type": MSG_HELLO, "client_id": self.client_id})
-        )
+        hello: dict[str, Any] = {
+            "type": MSG_HELLO, "client_id": self.client_id
+        }
+        if self.encoding != ENCODING_JSON:
+            hello["encoding"] = self.encoding
+        self.writer.write(encode_frame(hello))
         await self.writer.drain()
         reply = await read_frame(self.reader, self.max_frame)
         if reply is None or reply["type"] != MSG_HELLO:
             raise ServeError(f"handshake failed: {reply!r}")
+        if self.encoding != ENCODING_JSON and (
+            reply.get("encoding") != self.encoding
+        ):
+            raise ServeError(
+                f"server did not accept {self.encoding!r} encoding:"
+                f" {reply.get('encoding')!r}"
+            )
         self.hello = reply
         if self.respect_cap and isinstance(reply.get("max_inflight"), int):
             self._cap = asyncio.Semaphore(reply["max_inflight"])
@@ -97,7 +119,9 @@ class ServeClient:
     async def _read_loop(self) -> None:
         try:
             while True:
-                message = await read_frame(self.reader, self.max_frame)
+                message = await read_frame(
+                    self.reader, self.max_frame, self.encoding
+                )
                 if message is None:
                     break
                 request_id = message.get("id")
@@ -138,7 +162,9 @@ class ServeClient:
         message = dict(message, id=request_id)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self.writer.write(encode_frame(message))
+        self.writer.write(
+            encode_frame(message, self.encoding, self.max_frame)
+        )
         await self.writer.drain()
         return await future
 
@@ -151,7 +177,9 @@ class ServeClient:
         message: dict[str, Any] = {"type": MSG_UPDATE, "x": x, "y": y}
         if time is not None:
             message["time"] = time
-        self.writer.write(encode_frame(message))
+        self.writer.write(
+            encode_frame(message, self.encoding, self.max_frame)
+        )
         await self.writer.drain()
 
     async def close(self) -> None:
@@ -210,6 +238,7 @@ class LoadReport:
     errors: int
     shed_reasons: dict[str, int]
     latency_s: dict[str, float]
+    encoding: str = "json"
     replies: list[dict[str, Any]] = field(default_factory=list, repr=False)
 
     @property
@@ -224,6 +253,7 @@ class LoadReport:
             "count": self.count,
             "connections": self.connections,
             "lockstep": self.lockstep,
+            "encoding": self.encoding,
             "offered_qps": self.offered_qps,
             "elapsed_s": self.elapsed_s,
             "achieved_qps": self.achieved_qps,
@@ -272,6 +302,7 @@ async def run_load(
     lockstep: bool = False,
     respect_cap: bool = True,
     client_prefix: str = "load",
+    encoding: str = ENCODING_JSON,
 ) -> LoadReport:
     """Replay a seeded workload against a server and measure it.
 
@@ -293,6 +324,7 @@ async def run_load(
             port,
             client_id=f"{client_prefix}-{i}",
             respect_cap=respect_cap,
+            encoding=encoding,
         )
         for i in range(connections)
     ]
@@ -355,5 +387,6 @@ async def run_load(
         errors=errors,
         shed_reasons=shed_reasons,
         latency_s=_latency_stats(latencies),
+        encoding=encoding,
         replies=list(replies),
     )

@@ -49,12 +49,15 @@ from ..obs import JsonLinesExporter, MetricsRegistry, NO_TRACER, Tracer
 from ..ondemand import mmc_wait_time
 from ..workloads import ParameterSet, QueryEvent, QueryKind
 from .protocol import (
+    ENCODING_JSON,
+    ENCODINGS,
     MAX_FRAME,
     MSG_HELLO,
     MSG_QUERY,
     MSG_UPDATE,
     PROTOCOL_VERSION,
     FrameError,
+    FrameTooLargeError,
     answer_message,
     encode_frame,
     error_message,
@@ -253,6 +256,9 @@ class BaseStationServer:
         cfg = self.config
         session: ClientSession | None = None
         try:
+            # The HELLO exchange is always JSON, both directions: the
+            # requested encoding only takes effect once both sides have
+            # seen the negotiation result.
             first = await read_frame(reader, cfg.max_frame)
             if first is None:
                 return
@@ -264,7 +270,16 @@ class BaseStationServer:
                     ),
                 )
                 return
-            session = self._open_session(first, writer)
+            encoding = first.get("encoding", ENCODING_JSON)
+            if encoding not in ENCODINGS:
+                await self._write(
+                    writer,
+                    error_message(
+                        f"unknown wire encoding {encoding!r}", code="protocol"
+                    ),
+                )
+                return
+            session = self._open_session(first, writer, encoding)
             await self._write(
                 writer,
                 {
@@ -274,10 +289,13 @@ class BaseStationServer:
                     "host_id": session.host_id,
                     "max_inflight": cfg.max_inflight,
                     "max_frame": cfg.max_frame,
+                    "encoding": encoding,
                 },
             )
             while True:
-                message = await read_frame(reader, cfg.max_frame)
+                message = await read_frame(
+                    reader, cfg.max_frame, session.encoding
+                )
                 if message is None:
                     break
                 session.touch(self._now())
@@ -289,7 +307,11 @@ class BaseStationServer:
             self._count("serve.frame_errors")
             if session is not None:
                 session.record(self._now(), "frame-error", error=str(exc))
-            await self._write(writer, error_message(str(exc), code="framing"))
+            await self._write(
+                writer,
+                error_message(str(exc), code="framing"),
+                session.encoding if session is not None else ENCODING_JSON,
+            )
         except (ConnectionError, OSError):
             self._count("serve.connection_errors")
         finally:
@@ -301,7 +323,9 @@ class BaseStationServer:
             except (ConnectionError, OSError):
                 pass
 
-    def _open_session(self, hello: dict[str, Any], writer) -> ClientSession:
+    def _open_session(
+        self, hello: dict[str, Any], writer, encoding: str = ENCODING_JSON
+    ) -> ClientSession:
         sid = self._next_session
         self._next_session += 1
         client_id = str(hello.get("client_id", f"client-{sid}"))
@@ -319,6 +343,7 @@ class BaseStationServer:
             now=self._now(),
             tracer=tracer,
             exporter=exporter,
+            encoding=encoding,
         )
         session.record(self._now(), "hello", client_id=client_id)
         self.sessions[sid] = session
@@ -569,7 +594,20 @@ class BaseStationServer:
             session.inflight -= 1
             self._note_service(perf_counter() - started)
         session.record(self._now(), "answer", id=request_id)
-        await self._send(session, reply)
+        try:
+            await self._send(session, reply)
+        except FrameTooLargeError as exc:
+            # The reply itself blew the frame bound: the stream is
+            # still intact (nothing was written), so answer with a
+            # typed error instead of killing the worker or the session.
+            session.errors += 1
+            self._count("serve.oversized_replies")
+            await self._send(
+                session,
+                error_message(
+                    str(exc), request_id=request_id, code="too-large"
+                ),
+            )
 
     def _execute(self, session: ClientSession, request_id, event: QueryEvent):
         tracer = session.tracer
@@ -688,15 +726,22 @@ class BaseStationServer:
     def _now(self) -> float:
         return asyncio.get_running_loop().time()
 
-    async def _write(self, writer, message: dict[str, Any]) -> bool:
+    async def _write(
+        self,
+        writer,
+        message: dict[str, Any],
+        encoding: str = ENCODING_JSON,
+    ) -> bool:
         if writer.is_closing():
             return False
         try:
-            writer.write(encode_frame(message))
+            writer.write(
+                encode_frame(message, encoding, self.config.max_frame)
+            )
             await writer.drain()
         except (ConnectionError, OSError):
             return False
         return True
 
     async def _send(self, session: ClientSession, message: dict[str, Any]):
-        return await self._write(session.writer, message)
+        return await self._write(session.writer, message, session.encoding)

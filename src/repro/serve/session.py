@@ -40,6 +40,7 @@ class ClientSession:
         "trace",
         "tracer",
         "exporter",
+        "encoding",
     )
 
     def __init__(
@@ -52,10 +53,13 @@ class ClientSession:
         trace_limit: int = 256,
         tracer=None,
         exporter=None,
+        encoding: str = "json",
     ):
         self.session_id = session_id
         self.client_id = client_id
         self.writer = writer
+        # Negotiated at HELLO; every post-HELLO frame both ways uses it.
+        self.encoding = encoding
         # The simulated host this session fronts when a QUERY carries
         # no explicit host_id (assigned round-robin at HELLO).
         self.host_id = host_id

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Sequence
 
 import numpy as np
@@ -48,6 +48,7 @@ from ..p2p import SharePayload
 from ..workloads import ParameterSet, QueryKind, QueryWorkload, generate_pois
 from ..experiments.metrics import MetricsCollector
 from ..experiments.simulator import SECONDS_PER_HOUR, refresh_due
+from . import rpc
 from .grid import ShardGrid
 from .worker import EventOutcome, OverhearOp, ShardWorld, shard_worker_main
 
@@ -74,7 +75,14 @@ class _InprocessShard:
 
 
 class _ProcessShard:
-    """Pipe-RPC backend: the shard world lives in a worker process."""
+    """Pipe-RPC backend: the shard world lives in a worker process.
+
+    Requests and responses are flat codec buffers (see
+    :mod:`repro.shard.rpc`) moved with ``send_bytes``/``recv_bytes``;
+    domain objects relayed between shards stay encoded end-to-end.
+    The pending-method queue pairs each deferred ``recv`` with the
+    request whose response schema it must parse.
+    """
 
     def __init__(self, config: dict, ctx):
         self._conn, child = ctx.Pipe()
@@ -83,28 +91,26 @@ class _ProcessShard:
         )
         self._proc.start()
         child.close()
-        self._recv_checked()  # construction ack
-
-    def _recv_checked(self):
-        status, payload = self._conn.recv()
-        if status != "ok":
-            raise ExperimentError(f"shard worker failed:\n{payload}")
-        return payload
+        self._pending: deque[str] = deque()
+        rpc.read_ack(self._conn.recv_bytes())  # construction ack
 
     def call(self, method: str, *args):
         self.send(method, *args)
         return self.recv()
 
     def send(self, method: str, *args) -> None:
-        self._conn.send((method, args))
+        self._conn.send_bytes(rpc.encode_request(method, args))
+        self._pending.append(method)
 
     def recv(self):
-        return self._recv_checked()
+        return rpc.decode_response(
+            self._pending.popleft(), self._conn.recv_bytes()
+        )
 
     def close(self) -> None:
         try:
             if self._proc.is_alive():
-                self._conn.send(None)
+                self._conn.send_bytes(rpc.shutdown_request())
                 self._proc.join(timeout=5.0)
         except (OSError, ValueError):
             pass
@@ -530,3 +536,36 @@ class ShardedSimulation:
     def owned_counts(self) -> list[int]:
         """Hosts per shard (diagnostics for balance checks)."""
         return [worker.call("owned_count") for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    # Worker-side profiling
+    # ------------------------------------------------------------------
+    def start_worker_profiles(self) -> bool:
+        """Start cProfile inside every worker *process*.
+
+        Returns ``False`` without starting anything on the in-process
+        backend — there the coordinator's own profiler already sees
+        shard execution, and nesting a second active profiler in one
+        interpreter raises.
+        """
+        if self.backend != "process":
+            return False
+        for worker in self._workers:
+            worker.call("profile_start")
+        return True
+
+    def collect_worker_profiles(self) -> dict[str, tuple[int, int, float, float]]:
+        """Merged ``{site: (cc, nc, tottime, cumtime)}`` across workers."""
+        merged: dict[str, tuple[int, int, float, float]] = {}
+        for worker in self._workers:
+            for site, (cc, nc, tt, ct) in worker.call(
+                "profile_collect"
+            ).items():
+                if site in merged:
+                    acc = merged[site]
+                    merged[site] = (
+                        acc[0] + cc, acc[1] + nc, acc[2] + tt, acc[3] + ct
+                    )
+                else:
+                    merged[site] = (cc, nc, tt, ct)
+        return merged

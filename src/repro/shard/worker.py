@@ -28,55 +28,27 @@ per request.  The in-process backend calls the same methods directly.
 
 from __future__ import annotations
 
-import traceback
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ExperimentError
 from ..cache import POICache
 from ..check import invariants
-from ..geometry import Point, Rect
+from ..geometry import Point
 from ..model import POI
 from ..p2p import PeerNetwork, SharePayload, ShareResponse
 from ..mobility import ShardFleetSoA
 from ..workloads import ParameterSet, QueryEvent, QueryKind
 from ..experiments.host import HaloHost, MobileHost
-from ..experiments.metrics import QueryRecord
 from ..experiments.station import BaseStation
+from .messages import EventOutcome, OverhearOp, SharedRegions
 
-SharedRegions = tuple[tuple[Rect, tuple[POI, ...]], ...]
-
-
-@dataclass(frozen=True, slots=True)
-class OverhearOp:
-    """An overheard result adoption to replay on the target's owner.
-
-    ``event_index`` orders ops globally (the single-process simulator
-    applies overhear inserts at event time); ``position`` / ``heading``
-    are the *target's* snapshot state, read from the origin shard's SoA
-    — bit-identical to the owner's, both being slices of the same
-    coordinator refresh.
-    """
-
-    event_index: int
-    target: int
-    now: float
-    position: tuple[float, float]
-    heading: tuple[float, float]
-    shared: SharedRegions
-
-
-@dataclass(frozen=True, slots=True)
-class EventOutcome:
-    """What one executed event sends back to the coordinator."""
-
-    event_index: int
-    record: QueryRecord
-    remote_ops: tuple[OverhearOp, ...]
-    # (host id, new cache generation) for every owned host this event
-    # observably mutated — the coordinator re-exports exactly these
-    # payloads to shards mirroring them.
-    dirty: tuple[tuple[int, int], ...]
+__all__ = [
+    "EventOutcome",
+    "OverhearOp",
+    "SharedRegions",
+    "ShardWorld",
+    "shard_worker_main",
+]
 
 
 class ShardWorld:
@@ -121,6 +93,7 @@ class ShardWorld:
         self.mirrors: dict[int, HaloHost] = {}
         self.soa: ShardFleetSoA | None = None
         self._epoch = -1
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Epoch lifecycle
@@ -440,29 +413,77 @@ class ShardWorld:
     def owned_count(self) -> int:
         return len(self.hosts)
 
+    # ------------------------------------------------------------------
+    # Worker-side profiling (profile --kind sharded --worker-profile)
+    # ------------------------------------------------------------------
+    def profile_start(self) -> None:
+        """Start a cProfile capture of this worker's own CPU time."""
+        import cProfile
+
+        if self._profiler is not None:
+            raise ExperimentError(
+                f"shard {self.shard_id} worker profiler already running"
+            )
+        self._profiler = cProfile.Profile()
+        self._profiler.enable()
+
+    def profile_collect(self) -> dict[str, tuple[int, int, float, float]]:
+        """Stop profiling; return ``{site: (cc, nc, tottime, cumtime)}``.
+
+        Sites are ``path:line(func)`` strings so per-shard stats can be
+        summed on the coordinator without shipping pstats objects.
+        """
+        if self._profiler is None:
+            raise ExperimentError(
+                f"shard {self.shard_id} worker profiler not running"
+            )
+        profiler, self._profiler = self._profiler, None
+        profiler.disable()
+        profiler.create_stats()
+        return {
+            f"{path}:{line}({name})": (cc, nc, tt, ct)
+            for (path, line, name), (cc, nc, tt, ct, _callers)
+            in profiler.stats.items()
+        }
+
 
 def shard_worker_main(conn, config: dict) -> None:
-    """Subprocess entry point: serve RPCs until the pipe closes.
+    """Subprocess entry point: serve binary RPCs until the pipe closes.
 
-    Protocol: receive ``(method, args)``, reply ``("ok", result)`` or
-    ``("err", traceback_string)``; ``None`` shuts the worker down.
+    Protocol (see :mod:`repro.shard.rpc`): each request is one codec
+    buffer over ``recv_bytes``; each reply is a status-prefixed buffer
+    over ``send_bytes``.  An ``OP_SHUTDOWN`` request (or pipe EOF)
+    ends the loop.
     """
+    import gc
+    import traceback
+
+    from . import rpc
+
     try:
         world = ShardWorld(**config)
-        conn.send(("ok", world.shard_id))
+        # The station replica (full POI field + spatial index) is
+        # immortal for this worker's lifetime; move it into the
+        # permanent generation so the collector stops rescanning it,
+        # and collect far less often — query execution allocates
+        # millions of short-lived geometry objects whose cycles are
+        # rare, so the default thresholds spend real wall time on
+        # generational scans that find nothing.  GC timing has no
+        # observable effect on the simulation, so lockstep
+        # bit-identity with the single-process referee is preserved.
+        gc.collect()
+        gc.freeze()
+        gc.set_threshold(50_000, 50, 50)
+        conn.send_bytes(rpc.construction_ack(world.shard_id))
     except BaseException:
-        conn.send(("err", traceback.format_exc()))
+        conn.send_bytes(rpc.err_frame(traceback.format_exc()))
         return
     while True:
         try:
-            message = conn.recv()
+            data = conn.recv_bytes()
         except EOFError:
             return
-        if message is None:
+        response = rpc.handle_request(world, data)
+        if response is None:
             return
-        method, args = message
-        try:
-            result = getattr(world, method)(*args)
-            conn.send(("ok", result))
-        except BaseException:
-            conn.send(("err", traceback.format_exc()))
+        conn.send_bytes(response)

@@ -1,0 +1,400 @@
+"""Property-based round-trips and rejection for the binary codec.
+
+Every registered frame type gets a hypothesis round-trip law, judged
+on canonical bytes: re-encoding the decoded clone must reproduce the
+original frame bit-for-bit (which covers every field, floats included,
+without needing ``__eq__`` on graph-shaped types like SlabUnion).
+Pickle must agree too — the domain types' ``__reduce__`` hooks route
+through the same frames, so ``pickle.loads(pickle.dumps(x))`` is the
+second encoding under test.
+
+The rejection half mirrors the serve-layer hostile-bytes suite
+(``test_serve_protocol.py``): truncations, trailing garbage, bad
+headers, unknown tags, and corrupted payloads must raise
+:class:`~repro.errors.CodecError` — never anything else.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import CodecError, decode, encode
+from repro.codec.core import (
+    HEADER_SIZE,
+    MAGIC,
+    Reader,
+    VERSION,
+    Writer,
+)
+from repro.codec.fuzz import run_codec_fuzz
+from repro.codec.types import encode_records
+from repro.codec.values import read_value, write_value
+from repro.cache.store import POICache
+from repro.core import Resolution
+from repro.experiments.host import MobileHost
+from repro.experiments.metrics import QueryRecord
+from repro.geometry import Point, Rect
+from repro.geometry.slabunion import SlabUnion
+from repro.model import POI
+from repro.p2p.protocol import SharePayload
+from repro.shard.messages import EventOutcome, OverhearOp
+from repro.workloads.queries import QueryEvent, QueryKind
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+small_int = st.integers(min_value=0, max_value=1 << 30)
+
+
+@st.composite
+def rects(draw):
+    x = draw(coord)
+    y = draw(coord)
+    # Zero-extent (degenerate) rects are legal and must round-trip.
+    w = draw(st.one_of(st.just(0.0), st.floats(0.0, 1e3)))
+    h = draw(st.one_of(st.just(0.0), st.floats(0.0, 1e3)))
+    return Rect(x, y, x + w, y + h)
+
+
+@st.composite
+def pois(draw):
+    return POI(draw(small_int), Point(draw(coord), draw(coord)))
+
+
+@st.composite
+def slab_unions(draw):
+    # Empty histories (zero inserts) are a required edge case.
+    union = SlabUnion()
+    for rect in draw(st.lists(rects(), max_size=8)):
+        union.insert_rect(rect)
+    if draw(st.booleans()):
+        union.freeze()
+    return union
+
+
+@st.composite
+def payloads(draw):
+    return SharePayload(
+        host_id=draw(small_int),
+        # generation=0: a host that has never shared anything yet.
+        generation=draw(st.one_of(st.just(0), small_int)),
+        regions=tuple(draw(st.lists(rects(), max_size=4))),
+        pois=tuple(draw(st.lists(pois(), max_size=6))),
+        region_union=draw(st.one_of(st.none(), slab_unions())),
+    )
+
+
+@st.composite
+def overhear_ops(draw):
+    return OverhearOp(
+        event_index=draw(small_int),
+        target=draw(small_int),
+        now=draw(finite),
+        position=(draw(coord), draw(coord)),
+        heading=(draw(finite), draw(finite)),
+        shared=tuple(
+            draw(
+                st.lists(
+                    st.tuples(
+                        rects(),
+                        st.lists(pois(), max_size=3).map(tuple),
+                    ),
+                    max_size=3,
+                )
+            )
+        ),
+    )
+
+
+@st.composite
+def records(draw):
+    return QueryRecord(
+        time=draw(finite),
+        host_id=draw(small_int),
+        kind=draw(st.sampled_from((QueryKind.KNN, QueryKind.WINDOW))),
+        resolution=draw(st.sampled_from(tuple(Resolution))),
+        access_latency=draw(finite),
+        tuning_packets=draw(small_int),
+        buckets_downloaded=draw(small_int),
+        peer_count=draw(small_int),
+        k=draw(small_int),
+        window_area=draw(finite),
+        result_size=draw(small_int),
+        covered_fraction_missing=draw(finite),
+        p2p_drops=draw(small_int),
+        p2p_retries=draw(small_int),
+        p2p_deadline_misses=draw(small_int),
+        recovery_retunes=draw(small_int),
+        buckets_lost=draw(small_int),
+    )
+
+
+@st.composite
+def events(draw):
+    return QueryEvent(
+        time=draw(finite),
+        host_id=draw(small_int),
+        kind=draw(st.sampled_from((QueryKind.KNN, QueryKind.WINDOW))),
+        k=draw(st.integers(min_value=1, max_value=64)),
+        window_area=draw(finite),
+        center_offset=(draw(coord), draw(coord)),
+    )
+
+
+@st.composite
+def outcomes(draw):
+    return EventOutcome(
+        event_index=draw(small_int),
+        record=draw(records()),
+        remote_ops=tuple(draw(st.lists(overhear_ops(), max_size=2))),
+        dirty=tuple(
+            draw(
+                st.lists(st.tuples(small_int, small_int), max_size=4)
+            )
+        ),
+    )
+
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(1 << 62), max_value=1 << 62),
+        finite,
+        st.text(max_size=12),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def assert_both_roundtrips(obj):
+    """Canonical-bytes equality after codec *and* pickle round-trips."""
+    original = encode(obj)
+    assert encode(decode(original)) == original
+    assert encode(pickle.loads(pickle.dumps(obj))) == original
+
+
+# ----------------------------------------------------------------------
+# Round-trip laws, one per frame type
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(slab_unions())
+def test_slab_union_roundtrip(union):
+    assert_both_roundtrips(union)
+    clone = decode(encode(union))
+    assert clone.generation == union.generation
+    assert clone._frozen == union._frozen
+    assert clone._xs == union._xs
+    assert clone._slabs == union._slabs
+
+
+def test_empty_slab_union_roundtrip():
+    assert_both_roundtrips(SlabUnion())
+    assert_both_roundtrips(SlabUnion().freeze())
+
+
+@settings(max_examples=40, deadline=None)
+@given(payloads())
+def test_share_payload_roundtrip(payload):
+    assert_both_roundtrips(payload)
+    clone = decode(encode(payload))
+    assert clone.host_id == payload.host_id
+    assert clone.generation == payload.generation
+    assert clone.regions == payload.regions
+    assert clone.pois == payload.pois
+
+
+@settings(max_examples=40, deadline=None)
+@given(overhear_ops())
+def test_overhear_op_roundtrip(op):
+    assert_both_roundtrips(op)
+    assert decode(encode(op)) == op
+
+
+@settings(max_examples=60, deadline=None)
+@given(records())
+def test_query_record_roundtrip(record):
+    assert_both_roundtrips(record)
+    assert decode(encode(record)) == record
+
+
+@settings(max_examples=60, deadline=None)
+@given(events())
+def test_query_event_roundtrip(event):
+    assert_both_roundtrips(event)
+    assert decode(encode(event)) == event
+
+
+@settings(max_examples=30, deadline=None)
+@given(outcomes())
+def test_event_outcome_roundtrip(outcome):
+    assert_both_roundtrips(outcome)
+    assert decode(encode(outcome)) == outcome
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(records(), max_size=6))
+def test_record_batch_roundtrip(batch):
+    frame = encode_records(batch)
+    assert decode(frame) == tuple(batch)
+
+
+@settings(max_examples=50, deadline=None)
+@given(json_values)
+def test_value_codec_roundtrip(value):
+    writer = Writer()
+    write_value(writer, value)
+    reader = Reader(writer.getvalue())
+    clone = read_value(reader)
+    reader.expect_end()
+    assert clone == value
+    # Ints and floats stay distinct types on the wire, unlike JSON.
+    if type(value) in (int, float):
+        assert type(clone) is type(value)
+
+
+def test_host_roundtrip_is_bit_identical():
+    cache = POICache(capacity=32, max_regions=4)
+    now = 0.0
+    for i in range(6):
+        region = Rect(10.0 * i, 0.0, 10.0 * i + 8.0, 8.0)
+        batch = [
+            POI(100 * i + j, Point(10.0 * i + j, float(j)))
+            for j in range(4)
+        ]
+        cache.insert_result(
+            region, batch, now + i, Point(10.0 * i, 4.0), (1.0, 0.0)
+        )
+    host = MobileHost(7, cache)
+    host.share_payload()  # populate the lazy mirror before snapshotting
+    original = encode(host)
+    assert encode(decode(original)) == original
+    assert encode(pickle.loads(pickle.dumps(host))) == original
+    clone = decode(original)
+    assert clone.host_id == host.host_id
+    assert clone.cache.pois == host.cache.pois
+
+
+# ----------------------------------------------------------------------
+# Rejection: hostile bytes only ever raise CodecError
+# ----------------------------------------------------------------------
+SAMPLE_OBJECTS = [
+    SlabUnion().insert_rect(Rect(0.0, 0.0, 4.0, 4.0)),
+    SharePayload(
+        host_id=1,
+        generation=2,
+        regions=(Rect(0.0, 0.0, 1.0, 1.0),),
+        pois=(POI(3, Point(0.5, 0.5)),),
+        region_union=None,
+    ),
+    OverhearOp(1, 2, 3.0, (0.0, 0.0), (1.0, 0.0), ()),
+    QueryRecord(
+        0.0, 1, QueryKind.KNN, Resolution.VERIFIED, 1.0, 2, 3, 4
+    ),
+    QueryEvent(0.0, 1, QueryKind.KNN, 5, 0.0, (0.0, 0.0)),
+]
+
+
+@pytest.mark.parametrize(
+    "obj", SAMPLE_OBJECTS, ids=lambda o: type(o).__name__
+)
+def test_every_truncation_rejected(obj):
+    frame = encode(obj)
+    for cut in range(len(frame)):
+        with pytest.raises(CodecError):
+            decode(frame[:cut])
+
+
+@pytest.mark.parametrize(
+    "obj", SAMPLE_OBJECTS, ids=lambda o: type(o).__name__
+)
+def test_trailing_garbage_rejected(obj):
+    with pytest.raises(CodecError, match="trailing"):
+        decode(encode(obj) + b"\x00")
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(encode(SAMPLE_OBJECTS[0]))
+    frame[0] ^= 0xFF
+    with pytest.raises(CodecError, match="magic"):
+        decode(bytes(frame))
+
+
+def test_unsupported_version_rejected():
+    frame = bytearray(encode(SAMPLE_OBJECTS[0]))
+    frame[1] = VERSION + 1
+    with pytest.raises(CodecError, match="version"):
+        decode(bytes(frame))
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError, match="unknown codec type tag"):
+        decode(bytes((MAGIC, VERSION, 0x7F)))
+
+
+def test_short_header_rejected():
+    with pytest.raises(CodecError, match="header"):
+        decode(bytes((MAGIC,)))
+    with pytest.raises(CodecError):
+        decode(b"")
+
+
+def test_corrupted_bytes_never_escape_codecerror():
+    # Stamp 0xffffffff over every payload offset: count fields blow up
+    # to absurd sizes (the bounds-checked reader must reject them
+    # before allocating), scalar fields become nonsense values that
+    # either decode or reject — but nothing may raise anything other
+    # than CodecError.
+    frame = bytearray(encode(SAMPLE_OBJECTS[1]))
+    for pos in range(HEADER_SIZE, len(frame) - 3):
+        corrupt = bytearray(frame)
+        corrupt[pos:pos + 4] = b"\xff\xff\xff\xff"
+        try:
+            decode(bytes(corrupt))
+        except CodecError:
+            pass
+
+
+def test_value_codec_rejects_unknown_type_byte():
+    reader = Reader(bytes((0x63,)))
+    with pytest.raises(CodecError, match="unknown value type byte"):
+        read_value(reader)
+
+
+def test_value_codec_rejects_deep_nesting():
+    writer = Writer()
+    for _ in range(40):
+        writer.u8(6)  # list...
+        writer.u32(1)  # ...of one element
+    writer.u8(0)
+    with pytest.raises(CodecError, match="nesting"):
+        read_value(Reader(writer.getvalue()))
+
+
+def test_value_codec_rejects_unencodable():
+    with pytest.raises(CodecError, match="not encodable"):
+        write_value(Writer(), object())
+    with pytest.raises(CodecError, match="key must be str"):
+        write_value(Writer(), {1: "x"})
+
+
+def test_encode_rejects_unregistered_type():
+    with pytest.raises(CodecError, match="no codec registered"):
+        encode(object())
+
+
+def test_fuzz_campaign_is_clean():
+    report = run_codec_fuzz(seed=7, rounds=15)
+    assert report.ok, report.mismatches
+    assert report.objects_checked == 90
+    assert report.truncations_rejected > 0

@@ -1,0 +1,358 @@
+"""The negotiated binary wire mode of the serving layer.
+
+First half: the binary message codec with no sockets — fast-path
+query/answer layouts, the generic value fallback, strictness against
+hostile bytes, and the max-frame bound on *outgoing* frames (both
+encodings raise the same typed error).
+
+Second half: a live server — HELLO negotiation (including rejection of
+unknown encodings), hostile binary streams closing only their own
+connection, oversized ANSWERs degrading to a typed ERROR with the
+session intact, and a lockstep load run whose binary replies are
+identical to the JSON ones.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.codec.core import MAGIC, TAG_SB_ANSWER, TAG_SB_GENERIC, TAG_SB_QUERY
+from repro.serve import (
+    BaseStationServer,
+    FrameError,
+    MAX_FRAME,
+    MSG_ERROR,
+    MSG_HELLO,
+    ServeConfig,
+    encode_frame,
+    read_frame,
+    run_load,
+)
+from repro.serve.protocol import (
+    ENCODING_BINARY,
+    ENCODING_JSON,
+    FrameTooLargeError,
+    decode_payload,
+)
+from repro.workloads import SYNTHETIC_SUBURBIA, scaled_parameters
+
+PARAMS = scaled_parameters(SYNTHETIC_SUBURBIA, area_scale=0.02)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def payload_tag(frame: bytes) -> int:
+    """The codec type tag inside a length-prefixed binary frame."""
+    assert frame[4] == MAGIC
+    return frame[6]
+
+
+# ----------------------------------------------------------------------
+# Codec: no sockets
+# ----------------------------------------------------------------------
+class TestBinaryCodec:
+    def test_knn_query_takes_fast_path(self):
+        message = {
+            "type": "QUERY",
+            "kind": "knn",
+            "host_id": 4,
+            "time": 1.5,
+            "k": 3,
+            "id": 17,
+        }
+        frame = encode_frame(message, ENCODING_BINARY)
+        assert payload_tag(frame) == TAG_SB_QUERY
+        assert decode_payload(frame[4:], ENCODING_BINARY) == message
+
+    def test_window_query_takes_fast_path(self):
+        message = {
+            "type": "QUERY",
+            "kind": "window",
+            "host_id": 9,
+            "time": 0.0,
+            "window_area": 250.0,
+            "center_offset": [1.5, -2.5],
+            "id": 0,
+        }
+        frame = encode_frame(message, ENCODING_BINARY)
+        assert payload_tag(frame) == TAG_SB_QUERY
+        assert decode_payload(frame[4:], ENCODING_BINARY) == message
+
+    def test_answer_takes_fast_path(self):
+        message = {
+            "type": "ANSWER",
+            "id": 12,
+            "poi_ids": [5, 3, 99],
+            "plan": "verified",
+            "latency_s": 0.25,
+            "tuning_packets": 7,
+            "host_id": 2,
+            "kind": "knn",
+        }
+        frame = encode_frame(message, ENCODING_BINARY)
+        assert payload_tag(frame) == TAG_SB_ANSWER
+        assert decode_payload(frame[4:], ENCODING_BINARY) == message
+
+    def test_other_messages_take_generic_path(self):
+        for message in (
+            {"type": MSG_HELLO, "client_id": "c", "encoding": "binary"},
+            {"type": "QUERY", "kind": "knn", "k": 1, "extra": True},
+            {"type": "UPDATE", "x": 1.0, "y": 2.0},
+            {"type": "ERROR", "code": "framing", "message": "nope"},
+        ):
+            frame = encode_frame(message, ENCODING_BINARY)
+            assert payload_tag(frame) == TAG_SB_GENERIC
+            assert decode_payload(frame[4:], ENCODING_BINARY) == message
+
+    def test_int_float_distinction_survives(self):
+        message = {"type": "X", "int": 1, "float": 1.0}
+        clone = decode_payload(
+            encode_frame(message, ENCODING_BINARY)[4:], ENCODING_BINARY
+        )
+        assert type(clone["int"]) is int
+        assert type(clone["float"]) is float
+
+    def test_hostile_bytes_raise_frame_error(self):
+        for payload in (
+            b"",
+            b"\x00",
+            b"not a frame at all",
+            bytes((MAGIC, 1, TAG_SB_GENERIC)),  # empty generic payload
+            bytes((MAGIC, 9, TAG_SB_GENERIC, 0)),  # bad version
+            encode_frame({"type": "X"}, ENCODING_BINARY)[4:] + b"\x00",
+        ):
+            with pytest.raises(FrameError, match="malformed binary frame"):
+                decode_payload(payload, ENCODING_BINARY)
+
+    def test_binary_payload_must_be_typed_object(self):
+        # A generic frame holding a non-dict, and a dict without a
+        # string "type", are both protocol violations.
+        from repro.codec.core import frame as codec_frame
+        from repro.codec.values import write_value
+
+        for value in ([1, 2, 3], {"k": 1}, {"type": 7}):
+            writer = codec_frame(TAG_SB_GENERIC)
+            write_value(writer, value)
+            with pytest.raises(FrameError):
+                decode_payload(writer.getvalue(), ENCODING_BINARY)
+
+    def test_oversized_outgoing_frame_is_typed_error_both_encodings(self):
+        big = {"type": "ANSWER", "blob": "x" * (MAX_FRAME + 1)}
+        for encoding in (ENCODING_JSON, ENCODING_BINARY):
+            with pytest.raises(FrameTooLargeError, match="exceeds MAX_FRAME"):
+                encode_frame(big, encoding)
+        # The bound is the *decoder's*: a custom max_frame is enforced.
+        with pytest.raises(FrameTooLargeError):
+            encode_frame({"type": "A", "b": "x" * 100}, max_frame=64)
+        assert issubclass(FrameTooLargeError, FrameError)
+
+
+# ----------------------------------------------------------------------
+# A live server in binary mode
+# ----------------------------------------------------------------------
+async def started_server(**config_kwargs) -> BaseStationServer:
+    config_kwargs.setdefault("tick_interval", 0.0)
+    server = BaseStationServer(
+        PARAMS, seed=3, config=ServeConfig(**config_kwargs)
+    )
+    await server.start()
+    return server
+
+
+async def hello(port: int, encoding: str = ENCODING_BINARY):
+    """Open a connection and negotiate ``encoding`` (HELLO is JSON)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = {"type": MSG_HELLO, "client_id": "t"}
+    if encoding != ENCODING_JSON:
+        request["encoding"] = encoding
+    writer.write(encode_frame(request))
+    await writer.drain()
+    reply = await read_frame(reader)
+    return reader, writer, reply
+
+
+async def binary_query(reader, writer, request_id: int, k: int = 2):
+    writer.write(
+        encode_frame(
+            {"type": "QUERY", "kind": "knn", "k": k, "id": request_id},
+            ENCODING_BINARY,
+        )
+    )
+    await writer.drain()
+    return await read_frame(reader, MAX_FRAME, ENCODING_BINARY)
+
+
+class TestBinaryServer:
+    def test_negotiation_and_binary_query(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, reply = await hello(server.port)
+                assert reply["type"] == MSG_HELLO
+                assert reply["encoding"] == ENCODING_BINARY
+                answer = await binary_query(reader, writer, 5)
+                assert answer["type"] == "ANSWER"
+                assert answer["id"] == 5
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_json_client_sees_json_echo(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, reply = await hello(
+                    server.port, ENCODING_JSON
+                )
+                assert reply["encoding"] == ENCODING_JSON
+                writer.write(
+                    encode_frame(
+                        {"type": "QUERY", "kind": "knn", "k": 1, "id": 1}
+                    )
+                )
+                await writer.drain()
+                answer = await read_frame(reader)
+                assert answer["type"] == "ANSWER"
+                writer.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_unknown_encoding_rejected_at_hello(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, reply = await hello(server.port, "msgpack")
+                assert reply["type"] == MSG_ERROR
+                assert reply["code"] == "protocol"
+                assert await read_frame(reader) is None
+                writer.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_garbage_binary_payload_closes_only_that_session(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, _ = await hello(server.port)
+                payload = b"\xde\xad\xbe\xef not a codec frame"
+                writer.write(struct.pack(">I", len(payload)) + payload)
+                await writer.drain()
+                error = await read_frame(reader, MAX_FRAME, ENCODING_BINARY)
+                assert error["type"] == MSG_ERROR
+                assert error["code"] == "framing"
+                assert (
+                    await read_frame(reader, MAX_FRAME, ENCODING_BINARY)
+                    is None
+                )
+                # The accept loop survives: a fresh binary client works.
+                reader2, writer2, _ = await hello(server.port)
+                answer = await binary_query(reader2, writer2, 1)
+                assert answer["type"] == "ANSWER"
+                writer2.close()
+                await writer2.wait_closed()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_unknown_type_in_binary_session_survives(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer, _ = await hello(server.port)
+                writer.write(
+                    encode_frame({"type": "BOGUS", "id": 9}, ENCODING_BINARY)
+                )
+                await writer.drain()
+                error = await read_frame(reader, MAX_FRAME, ENCODING_BINARY)
+                assert error["type"] == MSG_ERROR
+                assert error["code"] == "unknown-type"
+                answer = await binary_query(reader, writer, 10)
+                assert answer["type"] == "ANSWER"
+                assert answer["id"] == 10
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    @pytest.mark.parametrize(
+        "encoding", (ENCODING_JSON, ENCODING_BINARY)
+    )
+    def test_oversized_answer_degrades_to_typed_error(self, encoding):
+        async def scenario():
+            # The scaled world holds 42 POIs, so a full-world kNN
+            # answer is ~250 bytes JSON (~400 binary); 150 keeps the
+            # HELLO reply (108 bytes) and small answers inside the
+            # bound while the big answer blows it.
+            server = await started_server(max_frame=150)
+            try:
+                reader, writer, reply = await hello(server.port, encoding)
+                assert reply["type"] == MSG_HELLO
+                writer.write(
+                    encode_frame(
+                        {"type": "QUERY", "kind": "knn", "k": 5000, "id": 1},
+                        encoding,
+                        MAX_FRAME,
+                    )
+                )
+                await writer.drain()
+                error = await read_frame(reader, MAX_FRAME, encoding)
+                assert error["type"] == MSG_ERROR
+                assert error["code"] == "too-large"
+                assert error["id"] == 1
+                # The session survives and still answers small queries.
+                writer.write(
+                    encode_frame(
+                        {"type": "QUERY", "kind": "knn", "k": 2, "id": 2},
+                        encoding,
+                        MAX_FRAME,
+                    )
+                )
+                await writer.drain()
+                answer = await read_frame(reader, MAX_FRAME, encoding)
+                assert answer["type"] == "ANSWER"
+                assert answer["id"] == 2
+                assert server.snapshot()["serve.oversized_replies"] == 1.0
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_lockstep_load_binary_matches_json(self):
+        async def one_run(encoding):
+            server = await started_server()
+            try:
+                return await run_load(
+                    PARAMS,
+                    server.port,
+                    seed=5,
+                    count=30,
+                    connections=1,
+                    lockstep=True,
+                    encoding=encoding,
+                )
+            finally:
+                await server.stop()
+
+        json_report = run(one_run(ENCODING_JSON))
+        binary_report = run(one_run(ENCODING_BINARY))
+        assert json_report.clean
+        assert binary_report.clean
+        assert binary_report.encoding == ENCODING_BINARY
+        # Fresh identically-seeded servers, identical workload: the
+        # reply stream must be bit-identical across encodings.
+        assert binary_report.replies == json_report.replies
